@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Full-disk-encryption key theft from on-chip AES runtimes.
+
+The paper's motivating victims are TRESOR-style schemes (AES schedule in
+CPU registers) and CaSE-style schemes (schedule in locked, secure cache
+lines) — both designed so cold boot attacks on DRAM find nothing.  This
+example runs both victims on a Raspberry Pi 4, executes Volt Boot, and
+recovers the AES-128 key from each using the attacker-side key-schedule
+search.
+
+Run:  python examples/aes_key_theft.py
+"""
+
+from repro import VoltBootAttack, devices
+from repro.analysis.keysearch import (
+    recover_key_from_registers,
+    search_aes128_schedules,
+)
+from repro.crypto import CacheLockedAes, RegisterAes, encrypt_block
+from repro.soc import BootMedia
+
+DISK_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+
+def steal_from_tresor() -> None:
+    """Victim 1: TRESOR keeps the schedule in vector registers."""
+    board = devices.raspberry_pi_4(seed=1)
+    board.boot(BootMedia("victim-os"))
+    tresor = RegisterAes(board.soc.core(0))
+    tresor.install_key(DISK_KEY)
+    sector = tresor.encrypt(b"disk sector 0000")
+    assert sector == encrypt_block(DISK_KEY, b"disk sector 0000")
+    print("TRESOR victim: AES-128 schedule parked in v0..v10, DRAM clean")
+
+    attack = VoltBootAttack(
+        board, target="registers", boot_media=BootMedia("attacker-usb")
+    )
+    result = attack.execute()
+    hit = recover_key_from_registers(result.vector_registers[0])
+    assert hit is not None and hit.key == DISK_KEY
+    print(f"  -> key recovered from registers v{hit.offset}..: "
+          f"{hit.key.hex()}")
+
+
+def steal_from_case() -> None:
+    """Victim 2: CaSE locks the schedule into secure cache lines."""
+    board = devices.raspberry_pi_4(seed=2)
+    board.boot(BootMedia("victim-os"))
+    case = CacheLockedAes(board.soc.core(0), schedule_addr=0x50000)
+    case.install_key(DISK_KEY)
+    case.encrypt(b"disk sector 0001")
+    print("CaSE victim: schedule pinned in locked secure L1 lines")
+
+    attack = VoltBootAttack(
+        board, target="l1-caches", boot_media=BootMedia("attacker-usb")
+    )
+    result = attack.execute()
+    hits = search_aes128_schedules(result.cache_images.dcache(0))
+    assert hits and hits[0].key == DISK_KEY
+    print(f"  -> key-schedule search found the key at d-cache offset "
+          f"{hits[0].offset:#x}: {hits[0].key.hex()}")
+
+
+def main() -> None:
+    steal_from_tresor()
+    steal_from_case()
+    print("\nboth on-chip AES schemes broken: Volt Boot reads the "
+          "schedule bytes the algorithm actually consumed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Cold boot vs Volt Boot on the same victim (paper sections 3 and 5).
+
+Runs the identical cache-resident victim through both attacks across a
+temperature sweep, printing recovery accuracy side by side.  Cold boot
+never beats chance on SRAM — even at -110 C the achievable off-time on
+an embedded board is too long — while Volt Boot is perfect everywhere
+because it removes the decay variable entirely.
+
+Run:  python examples/coldboot_vs_voltboot.py
+"""
+
+from repro import ColdBootAttack, VoltBootAttack, devices
+from repro.analysis import fractional_hamming_distance
+from repro.soc import BootMedia
+
+TEMPERATURES_C = (25.0, 0.0, -40.0, -110.0)
+OFF_TIME_S = 0.5  # a fast human battery pull
+
+
+def prepare_victim(seed: int):
+    """A Pi 4 with a recognisable pattern filling core 0's d-cache."""
+    board = devices.raspberry_pi_4(seed=seed)
+    board.boot(BootMedia("victim-os"))
+    unit = board.soc.core(0)
+    unit.l1d.invalidate_all()
+    unit.l1d.enabled = True
+    line = bytes([0xA5]) * 64
+    for offset in range(0, unit.l1d.geometry.size_bytes, 64):
+        unit.l1d.write(0x40000 + offset, line)
+    reference = b"".join(
+        unit.l1d.raw_way_image(w) for w in range(unit.l1d.geometry.ways)
+    )
+    return board, reference
+
+
+def accuracy(reference: bytes, observed: bytes) -> float:
+    """Recovery accuracy in percent (0 == chance for bistable cells)."""
+    error = fractional_hamming_distance(reference, observed)
+    return max(0.0, 100.0 * (1.0 - 2.0 * error))
+
+
+def main() -> None:
+    print(f"{'temp':>8}  {'cold boot':>10}  {'volt boot':>10}")
+    for index, temperature in enumerate(TEMPERATURES_C):
+        board, reference = prepare_victim(seed=10 + index)
+        cold = ColdBootAttack(
+            board,
+            temperature_c=temperature,
+            off_time_s=OFF_TIME_S,
+            boot_media=BootMedia("attacker-usb"),
+        ).execute()
+        cold_acc = accuracy(reference, cold.cache_images.dcache(0))
+
+        board2, reference2 = prepare_victim(seed=20 + index)
+        board2.set_temperature_c(temperature)
+        volt = VoltBootAttack(
+            board2,
+            target="l1-caches",
+            boot_media=BootMedia("attacker-usb"),
+            off_time_s=OFF_TIME_S,
+        ).execute()
+        volt_acc = accuracy(reference2, volt.cache_images.dcache(0))
+
+        print(f"{temperature:>7.0f}C  {cold_acc:>9.2f}%  {volt_acc:>9.2f}%")
+
+    print("\ncold boot on SRAM stays at chance level at every achievable")
+    print("temperature; Volt Boot is exact and temperature-independent")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+#!/usr/bin/env python3
+"""Countermeasure survey — the paper's section 8, as a runnable demo.
+
+Builds otherwise-identical Pi 4 victims with each defense toggled,
+re-runs the same attack, and prints the defense matrix: which defenses
+actually stop Volt Boot, which merely look like they should.
+
+Run:  python examples/countermeasure_survey.py
+"""
+
+from repro.experiments import countermeasures
+
+
+def main() -> None:
+    outcomes = countermeasures.run(seed=2026)
+    print(countermeasures.report(outcomes).render())
+    print()
+    effective = [o.defense for o in outcomes
+                 if o.pattern_lines_recovered == 0 and "graceful" not in o.defense]
+    print("defenses that actually stop the attack:", ", ".join(effective))
+
+
+if __name__ == "__main__":
+    main()

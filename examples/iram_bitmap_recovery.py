@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""i.MX53 iRAM bitmap recovery — the paper's Figure 9/10 scenario.
+
+Stores four copies of a 512x512 bitmap into the i.MX535's 128 KB iRAM
+over JTAG, holds the VDDAL1 memory rail through a power cycle while the
+CPU rail (VCCGP) dies, lets the SoC reboot from its internal ROM, dumps
+the iRAM back, and renders the recovered panels plus the spatial error
+profile.  Writes PGM images beside this script.
+
+Run:  python examples/iram_bitmap_recovery.py
+"""
+
+from pathlib import Path
+
+from repro import VoltBootAttack, devices
+from repro.analysis import (
+    block_hamming_profile,
+    fractional_hamming_distance,
+    test_bitmap_bytes,
+    write_pgm,
+)
+from repro.soc import JtagProbe
+
+IRAM_BASE = 0xF8000000
+PANEL_BYTES = 32 * 1024
+OUT_DIR = Path(__file__).parent
+
+
+def main() -> None:
+    board = devices.imx53_qsb()
+    board.boot()  # boots from internal ROM: no external media needed
+    jtag = JtagProbe(board.soc.memory_map)
+
+    bitmap = test_bitmap_bytes()
+    for panel in range(4):
+        jtag.write_block(IRAM_BASE + panel * PANEL_BYTES, bitmap)
+    print("stored 4x 32KiB bitmap panels into the iRAM over JTAG")
+
+    attack = VoltBootAttack(board, target="iram")
+    plan = attack.identify()
+    print(f"probing {plan.pad.name} on {plan.domain_name} at "
+          f"{plan.set_voltage_v:.2f}V (the CPU rail VCCGP is NOT held)")
+    result = attack.execute()
+    recovered = result.iram_image
+
+    overall = fractional_hamming_distance(bitmap * 4, recovered)
+    print(f"overall bit error: {100 * overall:.2f}%  (paper: 2.7%)")
+
+    for panel in range(4):
+        chunk = recovered[panel * PANEL_BYTES : (panel + 1) * PANEL_BYTES]
+        err = fractional_hamming_distance(bitmap, chunk)
+        path = write_pgm(chunk, 512, OUT_DIR / f"iram_panel_{panel}.pgm")
+        print(f"panel ({chr(ord('a') + panel)}): {100 * err:5.2f}% error "
+              f"-> {path.name}")
+
+    profile = block_hamming_profile(bitmap * 4, recovered, block_bits=512)
+    dirty = [i for i, count in enumerate(profile) if count > 0]
+    print(f"\nerrors cluster in blocks {dirty[0]}..{dirty[len(dirty)//2]} "
+          f"and {dirty[-1]} of {profile.size} -- the boot-ROM scratchpad "
+          f"regions (compare paper Figure 10)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: Volt Boot a Raspberry Pi 4's L1 d-cache in ~40 lines.
+
+A victim program stores a recognisable pattern through its d-cache; the
+attacker plans a probe against the board's power delivery network, rides
+VDD_CORE through a power cycle, reboots from USB, and dumps the raw
+cache RAMs over CP15 RAMINDEX.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import VoltBootAttack, devices
+from repro.cpu import Core, assemble, programs
+from repro.soc import BootMedia
+
+VICTIM_BUFFER = 0x40000
+
+
+def main() -> None:
+    # --- The victim's life before the attack -------------------------
+    board = devices.raspberry_pi_4()
+    board.boot(BootMedia("victim-os"))
+    unit = board.soc.core(0)
+    cpu = Core(unit, board.soc.memory_map)
+    victim = assemble(programs.byte_pattern_store(VICTIM_BUFFER, 4096, 0xAA))
+    cpu.load_program(victim.machine_code, 0x8000)
+    cpu.run()
+    print("victim is running; 0xAA buffer lives in the L1 d-cache")
+
+    # --- The attack (paper section 6.1) ------------------------------
+    attack = VoltBootAttack(
+        board, target="l1-caches", boot_media=BootMedia("attacker-usb")
+    )
+    plan = attack.identify()
+    print(f"step 1, identify: {plan.describe()}")
+    attack.attach()
+    print(f"step 2, attach:   probe landed on {plan.pad.name}")
+    lost = attack.power_cycle()
+    print(f"step 3, cycle:    power cut and restored; {lost} cells lost")
+    attack.reboot()
+    result = attack.extract()
+    print("step 4, extract:  raw L1 images dumped over CP15 RAMINDEX")
+
+    # --- What the attacker got ----------------------------------------
+    dump = result.cache_images.dcache(0)
+    lines = dump.count(b"\xaa" * 64)
+    print(f"\nrecovered {lines} full 0xAA cache lines "
+          f"({lines * 64} of 4096 victim bytes) -- retention was "
+          f"{'perfect' if result.surge_clean else 'degraded'}")
+    assert lines == 64
+
+
+if __name__ == "__main__":
+    main()

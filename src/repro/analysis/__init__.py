@@ -1,0 +1,54 @@
+"""Post-extraction analysis: the attacker's forensics toolbox.
+
+Everything the paper does with a dumped memory image lives here:
+
+* :mod:`~repro.analysis.hamming` — bit-error metrics (fractional Hamming
+  distance, per-block error profiles for Figure 10);
+* :mod:`~repro.analysis.imaging` — bit-image rendering (the cache
+  snapshot figures) as ASCII art and PGM files;
+* :mod:`~repro.analysis.patterns` — scans for known byte patterns and
+  array elements in raw way images (Table 4's accounting);
+* :mod:`~repro.analysis.keysearch` — AES key-schedule search over memory
+  images, the Halderman-style payoff step;
+* :mod:`~repro.analysis.statistics` — trial aggregation helpers;
+* :mod:`~repro.analysis.bitmap` — the deterministic 512×512 test bitmap
+  stored into the i.MX53 iRAM (Figures 9/10).
+"""
+
+from .bitmap import test_bitmap_bytes, test_bitmap_matrix
+from .hamming import (
+    bit_error_percent,
+    block_hamming_profile,
+    fractional_hamming_distance,
+    hamming_distance,
+)
+from .imaging import ascii_bit_image, bit_matrix, ones_fraction, write_pgm
+from .keysearch import KeyScheduleHit, search_aes128_schedules
+from .patterns import (
+    count_pattern_lines,
+    elements_present,
+    find_aligned,
+    find_all,
+)
+from .statistics import TrialStats, summarize_trials
+
+__all__ = [
+    "hamming_distance",
+    "fractional_hamming_distance",
+    "bit_error_percent",
+    "block_hamming_profile",
+    "bit_matrix",
+    "ascii_bit_image",
+    "ones_fraction",
+    "write_pgm",
+    "find_all",
+    "find_aligned",
+    "elements_present",
+    "count_pattern_lines",
+    "KeyScheduleHit",
+    "search_aes128_schedules",
+    "TrialStats",
+    "summarize_trials",
+    "test_bitmap_bytes",
+    "test_bitmap_matrix",
+]

@@ -1,0 +1,50 @@
+"""The deterministic 512×512 test bitmap (Figures 9/10 payload).
+
+The paper stores four copies of a 512×512 1-bpp bitmap (128 KB total)
+into the i.MX53 iRAM and measures how faithfully Volt Boot recovers it.
+Any fixed, visually-structured bit pattern serves; we synthesise one
+from geometric primitives so the recovered panels are recognisable at a
+glance and the build needs no image assets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+
+#: Bitmap edge length in pixels (paper: 512×512).
+BITMAP_SIDE = 512
+
+#: Bytes per bitmap (1 bit per pixel).
+BITMAP_BYTES = BITMAP_SIDE * BITMAP_SIDE // 8
+
+
+def test_bitmap_matrix(side: int = BITMAP_SIDE) -> np.ndarray:
+    """A ``side``×``side`` uint8 0/1 matrix with recognisable structure.
+
+    Concentric rings, a diagonal stripe field, and a dark border — high
+    spatial structure so clobbered regions stand out in the recovered
+    panels.
+    """
+    if side <= 0 or side % 8:
+        raise ReproError("bitmap side must be a positive multiple of 8")
+    ys, xs = np.mgrid[0:side, 0:side]
+    cx = cy = (side - 1) / 2.0
+    radius = np.hypot(xs - cx, ys - cy)
+    rings = ((radius // (side / 16)) % 2).astype(np.uint8)
+    stripes = (((xs + ys) // (side / 32)) % 2).astype(np.uint8)
+    quadrant = ((xs < cx) ^ (ys < cy)).astype(np.uint8)
+    image = np.where(quadrant == 1, rings, stripes).astype(np.uint8)
+    border = side // 32
+    image[:border, :] = 1
+    image[-border:, :] = 1
+    image[:, :border] = 1
+    image[:, -border:] = 1
+    return image
+
+
+def test_bitmap_bytes(side: int = BITMAP_SIDE) -> bytes:
+    """The bitmap packed row-major, LSB-first — ready to store in iRAM."""
+    matrix = test_bitmap_matrix(side)
+    return np.packbits(matrix.reshape(-1), bitorder="little").tobytes()

@@ -1,0 +1,92 @@
+"""Bit-image rendering — the paper's cache/iRAM snapshot figures.
+
+Figures 3, 7, 8, and 9 visualise raw memory images as black/white bit
+matrices.  Headless reproduction renders the same matrices as ASCII art
+(for terminals and logs) and binary PGM files (for any image viewer).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+def bit_matrix(data: bytes | np.ndarray, width: int) -> np.ndarray:
+    """Reshape an image's bits into rows of ``width`` bits.
+
+    Trailing bits that do not fill a row are dropped, matching how the
+    paper crops its snapshots.
+    """
+    if width <= 0:
+        raise ReproError("width must be positive")
+    if isinstance(data, np.ndarray):
+        bits = data.astype(np.uint8) & 1
+    else:
+        bits = np.unpackbits(
+            np.frombuffer(bytes(data), dtype=np.uint8), bitorder="little"
+        )
+    rows = bits.size // width
+    if rows == 0:
+        raise ReproError(f"image has fewer than {width} bits")
+    return bits[: rows * width].reshape(rows, width)
+
+
+def ones_fraction(data: bytes | np.ndarray) -> float:
+    """Fraction of 1 bits — ~0.5 signals an uninitialised SRAM image."""
+    if isinstance(data, np.ndarray):
+        bits = data.astype(np.uint8) & 1
+    else:
+        bits = np.unpackbits(
+            np.frombuffer(bytes(data), dtype=np.uint8), bitorder="little"
+        )
+    if bits.size == 0:
+        raise ReproError("empty image")
+    return float(bits.mean())
+
+
+def ascii_bit_image(
+    data: bytes | np.ndarray,
+    width: int = 128,
+    max_rows: int = 32,
+    downsample: int | None = None,
+) -> str:
+    """Render a bit image as ASCII art ('#' = 1, '.' = 0).
+
+    ``downsample`` averages square blocks before rendering, using
+    ' .:*#' shading — useful for whole-way snapshots that would
+    otherwise be thousands of rows.
+    """
+    matrix = bit_matrix(data, width)
+    if downsample and downsample > 1:
+        rows = (matrix.shape[0] // downsample) * downsample
+        cols = (matrix.shape[1] // downsample) * downsample
+        blocks = matrix[:rows, :cols].reshape(
+            rows // downsample, downsample, cols // downsample, downsample
+        )
+        density = blocks.mean(axis=(1, 3))
+        shades = " .:*#"
+        indices = np.minimum(
+            (density * len(shades)).astype(int), len(shades) - 1
+        )
+        lines = ["".join(shades[i] for i in row) for row in indices[:max_rows]]
+    else:
+        lines = [
+            "".join("#" if bit else "." for bit in row)
+            for row in matrix[:max_rows]
+        ]
+    return "\n".join(lines)
+
+
+def write_pgm(
+    data: bytes | np.ndarray, width: int, path: str | Path
+) -> Path:
+    """Write a bit image as a binary PGM (P5) file; returns the path."""
+    matrix = bit_matrix(data, width)
+    pixels = ((1 - matrix) * 255).astype(np.uint8)  # 1-bits render black
+    path = Path(path)
+    header = f"P5\n{matrix.shape[1]} {matrix.shape[0]}\n255\n".encode("ascii")
+    path.write_bytes(header + pixels.tobytes())
+    return path

@@ -1,0 +1,43 @@
+"""Trial aggregation for repeated experiments.
+
+The paper averages three trials per Table 4 configuration and reports
+per-core means; :class:`TrialStats` provides exactly that shape of
+summary for any scalar series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class TrialStats:
+    """Mean / min / max / sample-stddev of one measured series."""
+
+    mean: float
+    minimum: float
+    maximum: float
+    stddev: float
+    n: int
+
+
+def summarize_trials(values: list[float]) -> TrialStats:
+    """Aggregate repeated-trial measurements."""
+    if not values:
+        raise ReproError("no trial values to summarise")
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    else:
+        variance = 0.0
+    return TrialStats(
+        mean=mean,
+        minimum=min(values),
+        maximum=max(values),
+        stddev=sqrt(variance),
+        n=n,
+    )

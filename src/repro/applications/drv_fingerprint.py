@@ -1,0 +1,110 @@
+"""DRV fingerprinting: chip identification from retention voltages.
+
+Holcomb et al. (paper ref [20]) showed that the per-cell *data
+retention voltage* is itself a process-variation fingerprint: write a
+known pattern, step the supply voltage down, and record at which level
+each cell collapses.  The resulting vector identifies the physical chip
+even across temperature, and — unlike the power-up PUF — survives
+software writes.
+
+An attacker with a Volt Boot probe setup gets this measurement for
+free: the probe already controls the rail, so stepping it down between
+extractions sweeps out the fingerprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuits.sram import SramArray
+from ..errors import ReproError
+
+#: Default supply-step schedule for the sweep (volts, descending).
+DEFAULT_SWEEP_V = tuple(np.linspace(0.40, 0.12, 15).round(4).tolist())
+
+
+@dataclass(frozen=True)
+class DrvFingerprint:
+    """The measured collapse-level index of each cell."""
+
+    chip_label: str
+    sweep_voltages: tuple[float, ...]
+    collapse_level: np.ndarray  # index into sweep_voltages; -1 = survived
+
+    def distance(self, other: "DrvFingerprint") -> float:
+        """Mean absolute level difference between two fingerprints."""
+        if self.collapse_level.size != other.collapse_level.size:
+            raise ReproError("fingerprint sizes differ")
+        return float(
+            np.mean(np.abs(self.collapse_level - other.collapse_level))
+        )
+
+
+def measure_drv_fingerprint(
+    array: SramArray,
+    chip_label: str,
+    sweep_voltages: tuple[float, ...] = DEFAULT_SWEEP_V,
+    pattern: int = 0xAA,
+    window_bits: int = 4096,
+    arms_per_level: int = 2,
+) -> DrvFingerprint:
+    """Sweep the supply down and record each cell's collapse level.
+
+    A collapsed cell falls back to its power-up preference, which can
+    coincide with the written value, so each level is measured with
+    complementary data arms (the pattern and its inverse), repeated
+    ``arms_per_level`` times — a cell whose collapse escapes every arm
+    is overwhelmingly unlikely.  The array is re-armed (re-powered and
+    re-written) before each step so collapse at step *k* isolates the
+    DRV band between adjacent voltages.
+    """
+    if window_bits > array.n_bits:
+        raise ReproError("window exceeds the array")
+    if list(sweep_voltages) != sorted(sweep_voltages, reverse=True):
+        raise ReproError("sweep voltages must strictly descend")
+    if arms_per_level < 1:
+        raise ReproError("need at least one measurement arm per level")
+    collapse = np.full(window_bits, -1, dtype=np.int16)
+    base_bits = np.unpackbits(
+        np.frombuffer(bytes([pattern]) * (window_bits // 8), dtype=np.uint8),
+        bitorder="little",
+    )
+    arms = [base_bits, base_bits ^ 1] * arms_per_level
+    for level, voltage in enumerate(sweep_voltages):
+        flipped = np.zeros(window_bits, dtype=bool)
+        for arm_bits in arms:
+            if not array.powered:
+                array.restore_power()
+            else:
+                array.set_supply_voltage(array.params.nominal_v)
+            array.write_bits(0, arm_bits)
+            array.set_supply_voltage(voltage)
+            flipped |= array.read_bits(0, window_bits) != arm_bits
+        fresh = flipped & (collapse == -1)
+        collapse[fresh] = level
+    return DrvFingerprint(
+        chip_label=chip_label,
+        sweep_voltages=tuple(sweep_voltages),
+        collapse_level=collapse,
+    )
+
+
+def identify_chip(
+    probe: DrvFingerprint, enrolled: list[DrvFingerprint]
+) -> tuple[str, float]:
+    """Match a fresh measurement against an enrolled population.
+
+    Returns ``(best_label, margin)`` where margin is the runner-up
+    distance minus the best distance (bigger = more confident).
+    """
+    if not enrolled:
+        raise ReproError("no enrolled fingerprints")
+    distances = sorted(
+        (probe.distance(candidate), candidate.chip_label)
+        for candidate in enrolled
+    )
+    best_distance, best_label = distances[0]
+    runner_up = distances[1][0] if len(distances) > 1 else float("inf")
+    return best_label, runner_up - best_distance

@@ -1,0 +1,108 @@
+"""SRAM power-up PUFs and their exposure to Volt Boot.
+
+An SRAM PUF (paper refs [19], [36]) uses the manufacturing-variation
+skew of each cell's power-up state as a device fingerprint: enrollment
+majority-votes several power-ups into a reference response; later
+authentications accept a fresh power-up whose fractional Hamming
+distance stays under a threshold (noisy cells flip, skewed cells don't).
+
+Volt Boot gives an attacker two levers against this scheme:
+
+* **readout** — the "secret" fingerprint can be dumped through the
+  debug interface after an ordinary power-up, like any other SRAM
+  content; and
+* **freezing** — holding the rail prevents a *fresh* power-up entirely,
+  so the device re-presents a stale (attacker-chosen) response.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuits.sram import SramArray
+from ..errors import ReproError
+
+
+class SramPuf:
+    """Power-up PUF over (a slice of) one SRAM array."""
+
+    def __init__(
+        self,
+        array: SramArray,
+        offset_bits: int = 0,
+        length_bits: int = 1024,
+        auth_threshold: float = 0.20,
+    ) -> None:
+        if length_bits <= 0 or offset_bits < 0:
+            raise ReproError("PUF window must be non-empty and non-negative")
+        if offset_bits + length_bits > array.n_bits:
+            raise ReproError("PUF window exceeds the array")
+        if not 0.0 < auth_threshold < 0.5:
+            raise ReproError("auth threshold must be in (0, 0.5)")
+        self.array = array
+        self.offset_bits = offset_bits
+        self.length_bits = length_bits
+        self.auth_threshold = auth_threshold
+        self._reference: np.ndarray | None = None
+
+    def _power_cycle(self) -> None:
+        if self.array.powered:
+            self.array.power_down()
+        # A deliberate, long cut: the previous state fully decays.
+        self.array.elapse_unpowered(1.0, 298.15)
+        self.array.restore_power()
+
+    def read_response(self, fresh_power_up: bool = True) -> np.ndarray:
+        """One PUF response: the window's bits after a power-up."""
+        if fresh_power_up:
+            self._power_cycle()
+        elif not self.array.powered:
+            raise ReproError("stale readout needs a powered array")
+        return self.array.read_bits(self.offset_bits, self.length_bits)
+
+    def enroll(self, votes: int = 7) -> np.ndarray:
+        """Majority-vote ``votes`` power-ups into the golden response."""
+        if votes < 1 or votes % 2 == 0:
+            raise ReproError("enrollment needs an odd, positive vote count")
+        total = np.zeros(self.length_bits, dtype=np.int64)
+        for _ in range(votes):
+            total += self.read_response()
+        self._reference = (total * 2 > votes).astype(np.uint8)
+        return self._reference.copy()
+
+    @property
+    def reference(self) -> np.ndarray:
+        """The enrolled golden response."""
+        if self._reference is None:
+            raise ReproError("PUF not enrolled")
+        return self._reference.copy()
+
+    def authenticate(self, response: np.ndarray | None = None) -> tuple[bool, float]:
+        """Check a response (fresh power-up by default) against enrollment.
+
+        Returns ``(accepted, fractional_distance)``.
+        """
+        if self._reference is None:
+            raise ReproError("PUF not enrolled")
+        if response is None:
+            response = self.read_response()
+        response = np.asarray(response, dtype=np.uint8) & 1
+        if response.size != self.length_bits:
+            raise ReproError("response length mismatch")
+        distance = float(np.mean(response != self._reference))
+        return distance <= self.auth_threshold, distance
+
+    def clone_from_dump(self, dumped_bits: np.ndarray) -> "ClonedPuf":
+        """Build an attacker-side clone from a Volt-Boot-dumped response."""
+        return ClonedPuf(np.asarray(dumped_bits, dtype=np.uint8) & 1)
+
+
+class ClonedPuf:
+    """An attacker's software replica of a stolen PUF response."""
+
+    def __init__(self, response: np.ndarray) -> None:
+        self._response = response.copy()
+
+    def read_response(self) -> np.ndarray:
+        """Replay the stolen response (no physical noise at all)."""
+        return self._response.copy()

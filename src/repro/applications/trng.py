@@ -1,0 +1,77 @@
+"""True random number generation from SRAM power-up noise.
+
+Metastable SRAM cells flip a fresh coin at every power-up (paper ref
+[19]); collecting their values across power cycles yields physical
+entropy.  The generator below identifies noisy cells during a
+calibration phase (cells that disagreed across calibration power-ups),
+then harvests their bits through a von Neumann extractor to remove
+residual bias.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuits.sram import SramArray
+from ..errors import ReproError
+
+
+class PowerUpTrng:
+    """TRNG harvesting power-up noise from one SRAM array."""
+
+    def __init__(self, array: SramArray, calibration_cycles: int = 5) -> None:
+        if calibration_cycles < 2:
+            raise ReproError("calibration needs at least two power-ups")
+        self.array = array
+        self.calibration_cycles = calibration_cycles
+        self._noisy_index: np.ndarray | None = None
+
+    def _power_cycle(self) -> np.ndarray:
+        if self.array.powered:
+            self.array.power_down()
+        self.array.elapse_unpowered(1.0, 298.15)
+        self.array.restore_power()
+        return self.array.image()
+
+    def calibrate(self) -> int:
+        """Find the noisy-cell population; returns its size."""
+        samples = np.stack(
+            [self._power_cycle() for _ in range(self.calibration_cycles)]
+        )
+        disagree = samples.min(axis=0) != samples.max(axis=0)
+        self._noisy_index = np.flatnonzero(disagree)
+        return int(self._noisy_index.size)
+
+    def raw_noise_bits(self) -> np.ndarray:
+        """One power-up's worth of raw (unwhitened) noisy-cell bits."""
+        if self._noisy_index is None:
+            raise ReproError("TRNG not calibrated")
+        image = self._power_cycle()
+        return image[self._noisy_index]
+
+    @staticmethod
+    def von_neumann(bits: np.ndarray) -> np.ndarray:
+        """Unbias a bit stream: 01 -> 0, 10 -> 1, 00/11 -> discard."""
+        bits = np.asarray(bits, dtype=np.uint8) & 1
+        pairs = bits[: len(bits) // 2 * 2].reshape(-1, 2)
+        keep = pairs[:, 0] != pairs[:, 1]
+        return pairs[keep, 0]
+
+    def random_bytes(self, count: int, max_cycles: int = 200) -> bytes:
+        """Harvest ``count`` whitened random bytes."""
+        if count <= 0:
+            raise ReproError("byte count must be positive")
+        collected: list[np.ndarray] = []
+        harvested = 0
+        for _ in range(max_cycles):
+            whitened = self.von_neumann(self.raw_noise_bits())
+            collected.append(whitened)
+            harvested += whitened.size
+            if harvested >= count * 8:
+                break
+        else:
+            raise ReproError(
+                f"could not harvest {count} bytes in {max_cycles} power cycles"
+            )
+        stream = np.concatenate(collected)[: count * 8]
+        return np.packbits(stream, bitorder="little").tobytes()

@@ -1,0 +1,112 @@
+"""Board-level passive components and the supply-droop model.
+
+Paper §5.1: every supply pin of an SoC is decorated with passive
+components — decoupling capacitors against load transients on LDO-fed
+domains, LC filters on switching-regulator domains.  Those passives are
+exactly what gives the attacker a place to land a probe, and their values
+govern whether the probed rail *survives the disconnect surge*.
+
+When the main supply is cut, the compute cores momentarily draw their
+current from whatever still feeds the rail — the attacker's probe.  The
+rail voltage dips by the resistive drop across the probe plus whatever
+charge deficit the decoupling network cannot cover:
+
+    droop = I_supplied * R_source + max(0, I_surge - I_limit) * t_surge / C
+
+If the dip undercuts a cell's data retention voltage, that cell is lost
+(paper §6: "a power supply capable of supplying sufficient current is
+essential").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CalibrationError
+
+
+@dataclass(frozen=True)
+class SupplyLineParasitics:
+    """Series parasitics of a board supply line.
+
+    ``resistance_ohm`` and ``inductance_h`` model trace + package
+    parasitics; they set how violently the rail reacts to current steps.
+    """
+
+    resistance_ohm: float = 0.01
+    inductance_h: float = 5e-9
+
+    def __post_init__(self) -> None:
+        if self.resistance_ohm < 0.0 or self.inductance_h < 0.0:
+            raise CalibrationError("parasitics cannot be negative")
+
+    def resistive_drop(self, current_a: float) -> float:
+        """Voltage lost across the line resistance at ``current_a``."""
+        return current_a * self.resistance_ohm
+
+    def inductive_kick(self, current_step_a: float, step_time_s: float) -> float:
+        """L·di/dt excursion for a current step over ``step_time_s``."""
+        if step_time_s <= 0.0:
+            raise CalibrationError("step time must be positive")
+        return self.inductance_h * current_step_a / step_time_s
+
+
+@dataclass(frozen=True)
+class DecouplingNetwork:
+    """Aggregate decoupling capacitance hanging off one supply net.
+
+    Parameters
+    ----------
+    capacitance_f:
+        Total decoupling capacitance on the net (bulk + ceramic).
+    esr_ohm:
+        Effective series resistance of the capacitor bank.
+    """
+
+    capacitance_f: float = 100e-6
+    esr_ohm: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.capacitance_f <= 0.0:
+            raise CalibrationError("decoupling capacitance must be positive")
+        if self.esr_ohm < 0.0:
+            raise CalibrationError("ESR cannot be negative")
+
+    def sag_from_deficit(self, deficit_a: float, duration_s: float) -> float:
+        """Voltage sag when the caps must cover ``deficit_a`` for a while.
+
+        ΔV = I·t / C plus the ESR step.  ``deficit_a`` is the portion of
+        the surge the active supply could not deliver.
+        """
+        if deficit_a < 0.0 or duration_s < 0.0:
+            raise CalibrationError("deficit and duration cannot be negative")
+        return deficit_a * duration_s / self.capacitance_f + deficit_a * self.esr_ohm
+
+    def hold_up_time(self, load_a: float, allowed_sag_v: float) -> float:
+        """How long the caps alone can hold the rail within ``allowed_sag_v``."""
+        if load_a <= 0.0:
+            raise CalibrationError("load current must be positive")
+        if allowed_sag_v <= 0.0:
+            raise CalibrationError("allowed sag must be positive")
+        return allowed_sag_v * self.capacitance_f / load_a
+
+
+@dataclass(frozen=True)
+class DisconnectSurge:
+    """Electrical description of an abrupt main-supply disconnect.
+
+    Paper §6: cutting the PMIC input makes the cores momentarily pull
+    their supply current from the probed rail; on a Raspberry Pi 4 the
+    probe sees 400–600 mA of load which spikes before settling to ~8 mA
+    retention current a few microseconds later.
+    """
+
+    peak_current_a: float = 2.0
+    duration_s: float = 5e-6
+    settle_current_a: float = 0.008
+
+    def __post_init__(self) -> None:
+        if self.peak_current_a < 0.0 or self.settle_current_a < 0.0:
+            raise CalibrationError("surge currents cannot be negative")
+        if self.duration_s <= 0.0:
+            raise CalibrationError("surge duration must be positive")

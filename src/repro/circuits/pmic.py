@@ -1,0 +1,124 @@
+"""Power Management IC model: regulators feeding the board's rails.
+
+Paper Figure 4: a PMIC converts the board's main input (USB-C, battery)
+into several regulated rails.  LDOs feed low-fluctuation domains; buck
+converters feed domains with heavy dynamic loads (CPU clusters under
+DVFS).  From the attack's perspective the essential behaviours are:
+
+* every rail dies when the PMIC's *input* is disconnected — that is the
+  "abrupt power cut" of the attack;
+* rails are brought up in a defined *sequence* at boot;
+* each rail has a nominal output voltage the attacker can measure at a
+  test pad before cloning it with a bench supply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CalibrationError, PowerError
+
+
+@dataclass
+class Regulator:
+    """A single PMIC output rail.
+
+    Parameters
+    ----------
+    name:
+        Rail name as it appears in the board schematic (e.g. ``VDD_CORE``).
+    nominal_v:
+        Regulated output voltage.
+    max_current_a:
+        Current the regulator can source before folding back.
+    kind:
+        ``"ldo"`` or ``"buck"`` — informational, used in reports and in
+        probe-planning heuristics (buck rails carry LC filters, LDO rails
+        carry plain decoupling caps; both give probe points).
+    """
+
+    name: str
+    nominal_v: float
+    max_current_a: float = 1.0
+    kind: str = "ldo"
+    enabled: bool = False
+
+    def __post_init__(self) -> None:
+        if self.nominal_v <= 0.0:
+            raise CalibrationError(f"{self.name}: nominal voltage must be positive")
+        if self.max_current_a <= 0.0:
+            raise CalibrationError(f"{self.name}: max current must be positive")
+        if self.kind not in ("ldo", "buck"):
+            raise CalibrationError(f"{self.name}: kind must be 'ldo' or 'buck'")
+
+    def output_voltage(self, input_present: bool) -> float:
+        """Rail voltage given the PMIC input state."""
+        return self.nominal_v if (self.enabled and input_present) else 0.0
+
+
+def Ldo(name: str, nominal_v: float, max_current_a: float = 0.5) -> Regulator:
+    """Build a low-dropout regulator rail."""
+    return Regulator(name, nominal_v, max_current_a, kind="ldo")
+
+
+def BuckConverter(name: str, nominal_v: float, max_current_a: float = 3.0) -> Regulator:
+    """Build a switching (buck) regulator rail."""
+    return Regulator(name, nominal_v, max_current_a, kind="buck")
+
+
+@dataclass
+class Pmic:
+    """A PMIC: an input supply plus an ordered set of output rails."""
+
+    name: str = "pmic"
+    rails: dict[str, Regulator] = field(default_factory=dict)
+    power_sequence: list[str] = field(default_factory=list)
+    input_present: bool = False
+
+    def add_rail(self, regulator: Regulator) -> Regulator:
+        """Register an output rail; sequence order follows registration."""
+        if regulator.name in self.rails:
+            raise PowerError(f"{self.name}: duplicate rail {regulator.name!r}")
+        self.rails[regulator.name] = regulator
+        self.power_sequence.append(regulator.name)
+        return regulator
+
+    def rail(self, name: str) -> Regulator:
+        """Look up a rail by schematic name."""
+        try:
+            return self.rails[name]
+        except KeyError:
+            raise PowerError(f"{self.name}: unknown rail {name!r}") from None
+
+    def connect_input(self) -> None:
+        """Plug in the main supply and run the power-up sequence."""
+        self.input_present = True
+        for rail_name in self.power_sequence:
+            self.rails[rail_name].enabled = True
+
+    def disconnect_input(self) -> None:
+        """Abruptly cut the main supply.  Every rail output collapses.
+
+        This models physically pulling the USB-C cable / battery — the
+        only power-cycle method that defeats software purge routines
+        (paper §3).
+        """
+        self.input_present = False
+
+    def rail_voltage(self, name: str) -> float:
+        """Present output voltage of a rail."""
+        return self.rail(name).output_voltage(self.input_present)
+
+    def describe(self) -> list[dict[str, object]]:
+        """Tabular description of the rails (for reports)."""
+        return [
+            {
+                "rail": r.name,
+                "kind": r.kind,
+                "nominal_v": r.nominal_v,
+                "max_current_a": r.max_current_a,
+                "enabled": r.enabled,
+                "live": r.output_voltage(self.input_present) > 0.0,
+            }
+            for r in self.rails.values()
+        ]

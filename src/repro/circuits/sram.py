@@ -1,0 +1,381 @@
+"""6T SRAM cell arrays with data-retention-voltage physics.
+
+An SRAM cell is a pair of cross-coupled inverters (paper Figure 1).  Three
+physical properties drive everything in the Volt Boot paper:
+
+**Data retention voltage (DRV).**  A powered cell keeps its state as long
+as its supply stays above a per-cell DRV, which is process-variation
+dependent but *well below* the nominal supply (paper §2.1).  If the supply
+sags below a cell's DRV — even briefly — the feedback loop collapses and
+the cell falls back to its power-up preference.  This is why the
+attacker's probe must ride out the disconnect surge (paper §6), and why a
+sufficiently beefy bench supply yields 100 % recovery.
+
+**Power-up fingerprint.**  An unpowered-then-powered cell settles into a
+preferred state determined by transistor mismatch.  Most cells are
+strongly skewed and always wake up the same way; a minority are metastable
+and wake up randomly.  The fractional Hamming distance between two
+power-ups of the same array is therefore small but non-zero (~0.10 in the
+paper's Table 1 caption).
+
+**Intrinsic retention time.**  With the supply removed, the storage node
+discharges with an Arrhenius time constant (:mod:`~repro.circuits.leakage`).
+At room temperature this is tens of microseconds — hence "SRAM has no
+chill": no manual power cycle is fast enough, and no achievable cold makes
+it slow enough.
+
+:class:`SramArray` models a flat array of cells; architectural structures
+(cache ways, register files, iRAM) are built on top of it by
+:mod:`repro.soc`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import CalibrationError, CircuitError
+from ..units import ROOM_TEMPERATURE_K
+from .leakage import ArrheniusDecay, SRAM_DECAY
+
+
+@dataclass(frozen=True)
+class SramParameters:
+    """Process parameters of an SRAM macro.
+
+    Parameters
+    ----------
+    nominal_v:
+        Nominal supply voltage of the power domain feeding the macro.
+    drv_mean_v, drv_sigma_v:
+        Mean and standard deviation of the per-cell data retention
+        voltage.  Defaults put DRV around 0.25 V — far below nominal, per
+        the paper's §2.1 discussion.
+    restore_mean_v, restore_sigma_v:
+        Mean/sigma of the node voltage below which a cell, on power
+        restore, no longer recovers its old state.  Governs cold-boot
+        style retention after an *unpowered* interval.
+    noisy_fraction:
+        Fraction of cells whose power-up state is random rather than
+        skewed.  0.2 yields a ~0.10 fractional HD between power-ups.
+    decay:
+        Arrhenius model for unpowered node decay.
+    """
+
+    nominal_v: float = 0.8
+    drv_mean_v: float = 0.25
+    drv_sigma_v: float = 0.03
+    restore_mean_v: float = 0.10
+    restore_sigma_v: float = 0.02
+    noisy_fraction: float = 0.20
+    decay: ArrheniusDecay = field(default=SRAM_DECAY)
+
+    def __post_init__(self) -> None:
+        if self.nominal_v <= 0.0:
+            raise CalibrationError("nominal voltage must be positive")
+        if not 0.0 <= self.noisy_fraction <= 1.0:
+            raise CalibrationError("noisy_fraction must be within [0, 1]")
+        if self.drv_sigma_v < 0.0 or self.restore_sigma_v < 0.0:
+            raise CalibrationError("sigma values cannot be negative")
+        if self.drv_mean_v >= self.nominal_v:
+            raise CalibrationError(
+                "mean DRV must sit below the nominal supply voltage"
+            )
+
+
+class SramArray:
+    """A flat array of 6T SRAM cells addressed as bits or bytes.
+
+    The array is always in one of two electrical states:
+
+    * **powered** — holding a supply voltage; bits are stable unless the
+      supply sags below per-cell DRVs.
+    * **unpowered** — the storage nodes decay; the stored image survives a
+      later :meth:`restore_power` only for cells whose node voltage is
+      still above their restore threshold.
+
+    Bits are stored little-endian within each byte for the byte-level
+    accessors.
+    """
+
+    #: Residual flip probability of a strongly-skewed cell at power-up.
+    WAKE_SKEW_EPSILON = 0.005
+
+    #: Wake-probability shift per year of continuously imprinting one
+    #: value (NBTI-style aging; paper §9.2's decade-scale attacks).
+    AGING_SHIFT_PER_YEAR = 0.02
+
+    def __init__(
+        self,
+        n_bits: int,
+        params: SramParameters | None = None,
+        rng: np.random.Generator | None = None,
+        name: str = "sram",
+    ) -> None:
+        if n_bits <= 0:
+            raise CalibrationError("an SRAM array needs at least one bit")
+        if n_bits % 8:
+            raise CalibrationError("array size must be a whole number of bytes")
+        self.name = name
+        self.params = params or SramParameters()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._n_bits = int(n_bits)
+
+        # Process variation, fixed at manufacture time.  Stored as float16
+        # to keep megabyte-scale macros affordable; sub-millivolt
+        # resolution is far below any physical effect modelled here.
+        self._drv = (
+            self._rng.standard_normal(self._n_bits, dtype=np.float32)
+            * self.params.drv_sigma_v
+            + self.params.drv_mean_v
+        ).clip(min=0.01).astype(np.float16)
+        self._restore_threshold = (
+            self._rng.standard_normal(self._n_bits, dtype=np.float32)
+            * self.params.restore_sigma_v
+            + self.params.restore_mean_v
+        ).clip(min=0.005).astype(np.float16)
+        # Per-cell wake probability: the chance a cell powers up as 1.
+        # Strongly-skewed cells sit near 0 or 1 (the stable PUF bits);
+        # metastable cells sit near 0.5 and flip coin-like on every
+        # power-up.  Aging (NBTI imprinting) later shifts these values
+        # toward whatever the cell spent its life holding (paper §9.2).
+        skewed_wake = np.where(
+            self._rng.integers(0, 2, self._n_bits, dtype=np.uint8) == 1,
+            np.float32(1.0 - self.WAKE_SKEW_EPSILON),
+            np.float32(self.WAKE_SKEW_EPSILON),
+        )
+        noisy = self._rng.random(self._n_bits) < self.params.noisy_fraction
+        self._wake_p = np.where(
+            noisy, np.float32(0.5), skewed_wake
+        ).astype(np.float16)
+
+        # Electrical state.
+        self._bits = np.zeros(self._n_bits, dtype=np.uint8)
+        self._powered = False
+        self._supply_v = 0.0
+        self._unpowered_fraction = 1.0  # V/V0 accumulated while off
+        self._off_supply_v = 0.0  # supply level at the moment power was lost
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def n_bits(self) -> int:
+        """Number of cells in the array."""
+        return self._n_bits
+
+    @property
+    def n_bytes(self) -> int:
+        """Array capacity in bytes."""
+        return self._n_bits // 8
+
+    @property
+    def powered(self) -> bool:
+        """Whether the array currently has a supply."""
+        return self._powered
+
+    @property
+    def supply_voltage(self) -> float:
+        """Present supply voltage (0.0 when unpowered)."""
+        return self._supply_v if self._powered else 0.0
+
+    def drv_percentile(self, percentile: float) -> float:
+        """Per-cell DRV percentile — used by probe-planning heuristics."""
+        return float(np.percentile(self._drv, percentile))
+
+    def cell_drv(self) -> np.ndarray:
+        """Copy of the per-cell data retention voltages (volts)."""
+        return self._drv.astype(np.float32)
+
+    def wake_probabilities(self) -> np.ndarray:
+        """Copy of the per-cell power-up-as-1 probabilities."""
+        return self._wake_p.astype(np.float32)
+
+    def noisy_cell_mask(self) -> np.ndarray:
+        """Cells whose power-up state is effectively a coin flip."""
+        wake = self._wake_p.astype(np.float32)
+        return (wake > 0.2) & (wake < 0.8)
+
+    # ------------------------------------------------------------------
+    # Aging (NBTI imprinting — paper §9.2)
+    # ------------------------------------------------------------------
+
+    def age(self, years: float, duty_cycle: float = 1.0) -> None:
+        """Imprint the currently-held data into the cells' wake skew.
+
+        Bias temperature instability slowly shifts a cell's power-up
+        preference toward the value it spends its life holding — the
+        physical basis of the decade-scale data-imprinting attacks the
+        paper contrasts itself against (§9.2).  ``duty_cycle`` is the
+        fraction of the period the data was actually resident.
+        """
+        if years < 0.0 or not 0.0 <= duty_cycle <= 1.0:
+            raise CalibrationError("aging needs years >= 0, duty in [0, 1]")
+        self._require_powered("age")
+        shift = np.float32(self.AGING_SHIFT_PER_YEAR * years * duty_cycle)
+        direction = self._bits.astype(np.float32) * 2.0 - 1.0
+        aged = self._wake_p.astype(np.float32) + direction * shift
+        self._wake_p = aged.clip(
+            self.WAKE_SKEW_EPSILON / 2, 1.0 - self.WAKE_SKEW_EPSILON / 2
+        ).astype(np.float16)
+
+    # ------------------------------------------------------------------
+    # Power state machine
+    # ------------------------------------------------------------------
+
+    def power_up(self, voltage: float | None = None) -> None:
+        """Energise the array from a fully-discharged (cold) state.
+
+        All cells settle into their power-up fingerprint: skewed cells take
+        their preferred value, metastable cells flip a fresh coin.
+        """
+        self._require_voltage(voltage)
+        self._bits = self._sample_powerup()
+        self._powered = True
+        self._supply_v = self.params.nominal_v if voltage is None else voltage
+        self._unpowered_fraction = 1.0
+
+    def power_down(self) -> None:
+        """Remove the supply.  Node voltages begin to decay from here."""
+        if not self._powered:
+            raise CircuitError(f"{self.name}: already unpowered")
+        self._off_supply_v = self._supply_v
+        self._powered = False
+        self._supply_v = 0.0
+        self._unpowered_fraction = 1.0
+
+    def elapse_unpowered(
+        self, seconds: float, temperature_k: float = ROOM_TEMPERATURE_K
+    ) -> None:
+        """Let ``seconds`` pass without power at ``temperature_k``.
+
+        May be called repeatedly with different temperatures; decay
+        fractions compose multiplicatively.
+        """
+        if self._powered:
+            raise CircuitError(f"{self.name}: array is powered; nothing decays")
+        self._unpowered_fraction *= self.params.decay.surviving_fraction(
+            seconds, temperature_k
+        )
+
+    def restore_power(self, voltage: float | None = None) -> float:
+        """Re-apply power after an unpowered interval.
+
+        Cells whose decayed node voltage still exceeds their restore
+        threshold recover their previous state; the rest settle into the
+        power-up fingerprint.  Returns the fraction of cells that
+        retained their data — the quantity every remanence study reports.
+        """
+        if self._powered:
+            raise CircuitError(f"{self.name}: already powered")
+        self._require_voltage(voltage)
+        node_v = self._off_supply_v * self._unpowered_fraction
+        retained = node_v > self._restore_threshold
+        fresh = self._sample_powerup()
+        self._bits = np.where(retained, self._bits, fresh)
+        self._powered = True
+        self._supply_v = self.params.nominal_v if voltage is None else voltage
+        self._unpowered_fraction = 1.0
+        # Restoring at a voltage below some cells' DRV immediately
+        # collapses those cells as well.
+        self._collapse_below(self._supply_v)
+        return float(np.mean(retained))
+
+    def set_supply_voltage(self, voltage: float) -> int:
+        """Adjust the supply while powered (DVFS, or an attacker's probe).
+
+        Cells whose DRV exceeds the new voltage collapse to their power-up
+        preference.  Returns the number of cells lost.
+        """
+        if not self._powered:
+            raise CircuitError(f"{self.name}: cannot set voltage while unpowered")
+        self._require_voltage(voltage)
+        lost = self._collapse_below(voltage)
+        self._supply_v = voltage
+        return lost
+
+    def apply_voltage_transient(self, minimum_v: float) -> int:
+        """Model a transient sag to ``minimum_v`` (droop during a surge).
+
+        The sag is assumed long enough (microseconds) to collapse every
+        cell whose DRV it undercuts.  Returns the number of cells lost.
+        """
+        if not self._powered:
+            raise CircuitError(f"{self.name}: transient on an unpowered array")
+        if minimum_v < 0.0:
+            raise CircuitError("droop voltage cannot be negative")
+        return self._collapse_below(minimum_v)
+
+    # ------------------------------------------------------------------
+    # Data access
+    # ------------------------------------------------------------------
+
+    def read_bits(self, start: int = 0, count: int | None = None) -> np.ndarray:
+        """Copy out ``count`` bits starting at bit index ``start``."""
+        self._require_powered("read")
+        start, count = self._bit_range(start, count)
+        return self._bits[start : start + count].copy()
+
+    def write_bits(self, start: int, values: np.ndarray) -> None:
+        """Write a bit vector starting at bit index ``start``."""
+        self._require_powered("write")
+        values = np.asarray(values, dtype=np.uint8) & 1
+        start, count = self._bit_range(start, len(values))
+        self._bits[start : start + count] = values
+
+    def read_bytes(self, offset: int = 0, count: int | None = None) -> bytes:
+        """Copy out ``count`` bytes starting at byte ``offset``."""
+        if count is None:
+            count = self.n_bytes - offset
+        bits = self.read_bits(offset * 8, count * 8)
+        return np.packbits(bits, bitorder="little").tobytes()
+
+    def write_bytes(self, offset: int, data: bytes) -> None:
+        """Write ``data`` starting at byte ``offset``."""
+        raw = np.frombuffer(bytes(data), dtype=np.uint8)
+        bits = np.unpackbits(raw, bitorder="little")
+        self.write_bits(offset * 8, bits)
+
+    def fill_bytes(self, value: int) -> None:
+        """Fill the whole array with one repeated byte value."""
+        self.write_bytes(0, bytes([value & 0xFF]) * self.n_bytes)
+
+    def image(self) -> np.ndarray:
+        """Snapshot of the raw bit image (uint8 0/1 array)."""
+        return self.read_bits()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _sample_powerup(self) -> np.ndarray:
+        draws = self._rng.random(self._n_bits, dtype=np.float32)
+        return (draws < self._wake_p).astype(np.uint8)
+
+    def _collapse_below(self, voltage: float) -> int:
+        lost = self._drv > voltage
+        if not lost.any():
+            return 0
+        fresh = self._sample_powerup()
+        self._bits = np.where(lost, fresh, self._bits)
+        return int(lost.sum())
+
+    def _require_powered(self, action: str) -> None:
+        if not self._powered:
+            raise CircuitError(f"{self.name}: cannot {action} while unpowered")
+
+    def _require_voltage(self, voltage: float | None) -> None:
+        if voltage is not None and voltage <= 0.0:
+            raise CircuitError("supply voltage must be positive")
+
+    def _bit_range(self, start: int, count: int | None) -> tuple[int, int]:
+        if count is None:
+            count = self._n_bits - start
+        if start < 0 or count < 0 or start + count > self._n_bits:
+            raise CircuitError(
+                f"{self.name}: bit range [{start}, {start + count}) exceeds "
+                f"{self._n_bits} bits"
+            )
+        return start, count

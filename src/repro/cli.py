@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``inventory`` — print the platform/probe tables (paper Tables 2 & 3);
+* ``attack`` — run a Volt Boot (or cold boot) attack against a fresh
+  simulated device with a demo victim and print what was recovered;
+* ``experiment`` — run one named paper experiment and print its report;
+* ``list-experiments`` — show the available experiment names.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from . import __version__, experiments
+from .core.coldboot import ColdBootAttack
+from .core.report import AttackReport
+from .core.voltboot import VoltBootAttack
+from .devices import DEVICES, build_device, platform_table, probe_table
+from .errors import ReproError
+from .soc.bootrom import BootMedia
+
+#: Experiment name -> (module, needs-report-arg) registry for the CLI.
+EXPERIMENTS = {
+    "table1": experiments.table1,
+    "figure3": experiments.figure3,
+    "table4": experiments.table4,
+    "figure7": experiments.figure7,
+    "figure8": experiments.figure8,
+    "figure9": experiments.figure9,
+    "figure10": experiments.figure10,
+    "registers": experiments.registers,
+    "accessibility": experiments.accessibility,
+    "retention-sweep": experiments.retention_sweep,
+    "probe-sweep": experiments.probe_sweep,
+    "countermeasures": experiments.countermeasures,
+    "platforms": experiments.platforms,
+    "dram-coldboot": experiments.dram_coldboot,
+    "microarch-leak": experiments.microarch_leak,
+    "standby-retention": experiments.standby_retention,
+    "policy-ablation": experiments.policy_ablation,
+}
+
+#: Targets the attack command accepts per device.
+_DEVICE_TARGETS = {
+    "rpi4": ("l1-caches", "registers"),
+    "rpi3": ("l1-caches", "registers"),
+    "imx53": ("iram",),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Volt Boot reproduction toolkit (simulated hardware)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("inventory", help="print paper Tables 2 & 3")
+
+    attack = commands.add_parser("attack", help="attack a simulated device")
+    attack.add_argument("--device", choices=sorted(DEVICES), default="rpi4")
+    attack.add_argument(
+        "--target", default=None,
+        help="memory target (default: the device's headline target)",
+    )
+    attack.add_argument(
+        "--method", choices=("voltboot", "coldboot"), default="voltboot"
+    )
+    attack.add_argument("--seed", type=int, default=2022)
+    attack.add_argument(
+        "--temperature", type=float, default=-40.0,
+        help="chamber temperature for coldboot (degC)",
+    )
+
+    experiment = commands.add_parser(
+        "experiment", help="run one paper experiment"
+    )
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--seed", type=int, default=2022)
+
+    commands.add_parser("list-experiments", help="list experiment names")
+
+    render = commands.add_parser(
+        "render-figures", help="regenerate every figure as PGM images"
+    )
+    render.add_argument("--out", default="figures", help="output directory")
+    render.add_argument("--seed", type=int, default=2022)
+    return parser
+
+
+def _cmd_inventory() -> int:
+    report = AttackReport("Evaluated platforms (paper Table 2)")
+    for row in platform_table():
+        report.add_row(**row)
+    print(report.render())
+    print()
+    pads = AttackReport("Probe points (paper Table 3)")
+    for row in probe_table():
+        pads.add_row(**row)
+    print(pads.render())
+    return 0
+
+
+def _prepare_demo_victim(board, target: str) -> bytes:
+    """Park a recognisable secret in the target memory; returns it."""
+    secret_line = b"\xaa" * 64
+    if target == "iram":
+        iram = board.soc.iram
+        payload = (b"VOLTBOOT-DEMO-SECRET" * 7)[:128]
+        iram.write_block(iram.base_addr + 0x8000, payload)
+        return payload
+    unit = board.soc.core(0)
+    if target == "registers":
+        unit.vreg.write_bytes(0, b"\xaa" * 16)
+        return b"\xaa" * 16
+    unit.l1d.invalidate_all()
+    unit.l1d.enabled = True
+    unit.l1d.write(0x40000, secret_line)
+    return secret_line
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    device = args.device
+    target = args.target or _DEVICE_TARGETS[device][0]
+    if target not in _DEVICE_TARGETS[device]:
+        print(
+            f"error: {device} supports targets {_DEVICE_TARGETS[device]}",
+            file=sys.stderr,
+        )
+        return 2
+    board = build_device(device, seed=args.seed)
+    media = None if device == "imx53" else BootMedia("victim-os")
+    board.boot(media)
+    secret = _prepare_demo_victim(board, target)
+    attacker_media = None if device == "imx53" else BootMedia("attacker-usb")
+
+    if args.method == "coldboot":
+        attack = ColdBootAttack(
+            board, temperature_c=args.temperature, boot_media=attacker_media
+        )
+        result = attack.execute()
+        recovered = (
+            result.cache_images is not None
+            and secret in result.cache_images.dcache(0)
+        )
+        print(f"cold boot at {args.temperature:g}C: "
+              f"secret {'RECOVERED' if recovered else 'NOT recovered'} "
+              f"(expected: not recovered — SRAM has no chill)")
+        return 0
+
+    attack = VoltBootAttack(board, target=target, boot_media=attacker_media)
+    plan = attack.identify()
+    print(f"plan: {plan.describe()}")
+    result = attack.execute()
+    if target == "iram":
+        recovered = secret in result.iram_image
+    elif target == "registers":
+        recovered = any(
+            secret == value for value in result.vector_registers[0]
+        )
+    else:
+        recovered = secret in result.cache_images.dcache(0)
+    print(f"volt boot on {device}/{target}: "
+          f"secret {'RECOVERED' if recovered else 'NOT recovered'} "
+          f"(surge {'clean' if result.surge_clean else 'lossy'})")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    module = EXPERIMENTS[args.name]
+    result = module.run(seed=args.seed)
+    print(module.report(result).render())
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "inventory":
+            return _cmd_inventory()
+        if args.command == "attack":
+            return _cmd_attack(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "list-experiments":
+            for name in sorted(EXPERIMENTS):
+                print(name)
+            return 0
+        if args.command == "render-figures":
+            from .experiments.render import render_all
+
+            for path in render_all(args.out, seed=args.seed):
+                print(path)
+            return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 2  # pragma: no cover - argparse enforces the choices

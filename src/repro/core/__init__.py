@@ -1,0 +1,41 @@
+"""The paper's primary contribution: the Volt Boot attack toolkit.
+
+The attack pipeline follows §6.1 exactly:
+
+1. **Identify** the power domain feeding the target memory and a
+   probe-able pad on its net (:mod:`~repro.core.probe`);
+2. **Attach** a bench-supply probe at the pad's measured voltage;
+3. **Power cycle** the board — the probed domain rides through — and
+   boot attacker-controlled media (or the internal ROM);
+4. **Extract** the retained SRAM through CP15 RAMINDEX or JTAG
+   (:mod:`~repro.core.extraction`) and analyse it.
+
+:class:`~repro.core.voltboot.VoltBootAttack` drives the whole pipeline;
+:class:`~repro.core.coldboot.ColdBootAttack` is the temperature-based
+baseline the paper shows to be ineffective on SRAM (§3).
+"""
+
+from .coldboot import ColdBootAttack, ColdBootResult
+from .extraction import (
+    extract_iram,
+    extract_l1_images,
+    extract_vector_registers,
+    CacheImages,
+)
+from .probe import ProbePlan, plan_probe
+from .report import AttackReport
+from .voltboot import VoltBootAttack, VoltBootResult
+
+__all__ = [
+    "VoltBootAttack",
+    "VoltBootResult",
+    "ColdBootAttack",
+    "ColdBootResult",
+    "ProbePlan",
+    "plan_probe",
+    "CacheImages",
+    "extract_l1_images",
+    "extract_iram",
+    "extract_vector_registers",
+    "AttackReport",
+]

@@ -1,0 +1,91 @@
+"""Attack step 1: identify the target domain and plan the probe.
+
+BGA packaging hides the SoC's supply balls, but every supply net
+surfaces at decoupling-capacitor leads and test pads near the PMIC
+(paper §6.1 step 1, Figure 4).  The planner walks the board's PDN graph
+from the target memory kind to a probe-able pad and sizes the bench
+supply: the set-point is the *measured* pad voltage, and the current
+limit must cover the disconnect surge of the domain, or cells whose DRV
+exceeds the drooped rail will be lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuits.pdn import TestPad
+from ..circuits.supply import BenchSupply
+from ..errors import AttackError
+from ..soc.board import Board
+
+#: Safety factor applied over the surge peak when sizing the supply.
+SURGE_MARGIN = 1.5
+
+
+@dataclass(frozen=True)
+class ProbePlan:
+    """Everything needed to land the probe for one target memory."""
+
+    target: str
+    domain_name: str
+    net_name: str
+    pad: TestPad
+    set_voltage_v: float
+    required_current_a: float
+
+    def recommended_supply(
+        self, current_limit_a: float | None = None
+    ) -> BenchSupply:
+        """Build a bench supply matching the plan.
+
+        ``current_limit_a`` overrides the sized limit — the probe-sweep
+        experiment uses this to study under-provisioned supplies.
+        """
+        limit = (
+            self.required_current_a
+            if current_limit_a is None
+            else current_limit_a
+        )
+        return BenchSupply(
+            voltage_v=self.set_voltage_v, current_limit_a=limit
+        )
+
+    def describe(self) -> str:
+        """Human-readable summary for attack transcripts."""
+        return (
+            f"target={self.target} domain={self.domain_name} "
+            f"pad={self.pad.name} set={self.set_voltage_v:.3f}V "
+            f"supply>={self.required_current_a:.2f}A"
+        )
+
+
+def plan_probe(board: Board, target: str) -> ProbePlan:
+    """Plan a probe landing for ``target`` on ``board``.
+
+    ``target`` is a domain-member keyword: ``"l1-caches"``,
+    ``"registers"``, ``"iram"``, ``"l2"``, or ``"dram"``.  Raises
+    :class:`~repro.errors.AttackError` when the feeding net exposes no
+    pad (nothing to probe without depackaging the SoC).
+    """
+    domain_name = board.soc.domain_for_target(target)
+    net = board.pdn.net_for_domain(domain_name)
+    if not net.pads:
+        raise AttackError(
+            f"net {net.name!r} feeding {target!r} exposes no test pad; "
+            f"the attack needs a reachable probe point"
+        )
+    pad = net.pads[0]
+    measured = board.measure_pad_voltage(pad.name)
+    if measured <= 0.0:
+        # Unpowered board: fall back to the design voltage off the
+        # schematic (the attacker would power it once to meter the pad).
+        measured = board.pdn.nominal_voltage(net.name)
+    surge = board.soc.domain_spec(domain_name).surge
+    return ProbePlan(
+        target=target,
+        domain_name=domain_name,
+        net_name=net.name,
+        pad=pad,
+        set_voltage_v=measured,
+        required_current_a=surge.peak_current_a * SURGE_MARGIN,
+    )

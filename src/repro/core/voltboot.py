@@ -1,0 +1,158 @@
+"""The Volt Boot attack pipeline (paper §5–§6).
+
+:class:`VoltBootAttack` drives a victim :class:`~repro.soc.board.Board`
+through the four steps of §6.1: plan the probe against the PDN, attach a
+bench supply at the measured pad voltage, cut the main input while the
+probed domain rides through, reboot from attacker media (or internal
+ROM), and extract the retained SRAM.
+
+The class is deliberately stateful and explicit — each step can be run
+and inspected on its own, which is how the experiments exercise failure
+modes (weak probes, wrong voltages, countermeasures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..circuits.supply import BenchSupply
+from ..errors import AttackError
+from ..soc.board import Board
+from ..soc.bootrom import BootMedia
+from ..soc.jtag import JtagProbe
+from .extraction import (
+    CacheImages,
+    attacker_context,
+    extract_iram,
+    extract_l1_images,
+    extract_vector_registers,
+)
+from .probe import ProbePlan, plan_probe
+
+#: Default time the board sits dark between unplug and re-plug.  Volt
+#: Boot is insensitive to this (that is the point); the default matches
+#: a deliberate human-speed power cycle.
+DEFAULT_OFF_TIME_S = 10.0
+
+
+@dataclass
+class VoltBootResult:
+    """Everything one attack run produced."""
+
+    plan: ProbePlan
+    cells_lost_in_surge: int
+    off_time_s: float
+    cache_images: CacheImages | None = None
+    vector_registers: dict[int, list[bytes]] = field(default_factory=dict)
+    iram_image: bytes | None = None
+
+    @property
+    def surge_clean(self) -> bool:
+        """True when the probe rode the disconnect surge without losses."""
+        return self.cells_lost_in_surge == 0
+
+
+class VoltBootAttack:
+    """One attacker, one victim board, one target memory kind."""
+
+    def __init__(
+        self,
+        board: Board,
+        target: str = "l1-caches",
+        supply: BenchSupply | None = None,
+        boot_media: BootMedia | None = None,
+        off_time_s: float = DEFAULT_OFF_TIME_S,
+    ) -> None:
+        self.board = board
+        self.target = target
+        self.boot_media = boot_media
+        self.off_time_s = off_time_s
+        self.plan: ProbePlan | None = None
+        self._supply_override = supply
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    # Individual steps (paper §6.1)
+    # ------------------------------------------------------------------
+
+    def identify(self) -> ProbePlan:
+        """Step 1: locate the domain, pad, and required supply."""
+        self.plan = plan_probe(self.board, self.target)
+        return self.plan
+
+    def attach(self) -> None:
+        """Step 2: land the probe at the measured pad voltage."""
+        if self.plan is None:
+            self.identify()
+        assert self.plan is not None
+        supply = self._supply_override or self.plan.recommended_supply()
+        self.board.attach_probe(self.plan.pad.name, supply)
+        self._attached = True
+
+    def power_cycle(self) -> int:
+        """Step 3a: cut main power, sit dark, re-plug.
+
+        Returns the number of cells lost to the disconnect surge in the
+        held domain (0 for an adequately-sized supply).
+        """
+        if not self._attached:
+            raise AttackError("attach the probe before power cycling")
+        losses = self.board.unplug()
+        self.board.wait(self.off_time_s)
+        self.board.plug_in()
+        assert self.plan is not None
+        return losses.get(self.plan.domain_name, 0)
+
+    def reboot(self) -> None:
+        """Step 3b: boot the attacker's media (or the internal ROM)."""
+        self.board.boot(self.boot_media)
+
+    def extract(self) -> VoltBootResult:
+        """Step 4: dump the target memory through the debug interfaces."""
+        if self.plan is None:
+            raise AttackError("run the pipeline before extracting")
+        result = VoltBootResult(
+            plan=self.plan,
+            cells_lost_in_surge=self._surge_losses,
+            off_time_s=self.off_time_s,
+        )
+        ctx = attacker_context(self.board)
+        if self.target in ("l1-caches", "registers"):
+            result.cache_images = extract_l1_images(
+                self.board,
+                ctx,
+                skip_secure=self.board.soc.config.trustzone_enforced,
+            )
+            for core_index in range(len(self.board.soc.cores)):
+                result.vector_registers[core_index] = extract_vector_registers(
+                    self.board, core_index
+                )
+        elif self.target == "iram":
+            jtag = JtagProbe(
+                self.board.soc.memory_map,
+                enabled=self.board.soc.config.jtag_enabled,
+            )
+            result.iram_image = extract_iram(self.board, jtag)
+        else:
+            raise AttackError(f"no extraction path for target {self.target!r}")
+        return result
+
+    # ------------------------------------------------------------------
+    # The full pipeline
+    # ------------------------------------------------------------------
+
+    _surge_losses: int = 0
+
+    def execute(self) -> VoltBootResult:
+        """Run all four steps and return the extraction result."""
+        self.identify()
+        self.attach()
+        self._surge_losses = self.power_cycle()
+        self.reboot()
+        return self.extract()
+
+    def cleanup(self) -> None:
+        """Lift the probe (ends the artificial retention)."""
+        if self._attached and self.plan is not None:
+            self.board.detach_probe(self.plan.pad.name)
+            self._attached = False

@@ -1,0 +1,26 @@
+"""A miniature aarch64-flavoured CPU: ISA, assembler, interpreter.
+
+The paper's victim workloads are small bare-metal aarch64 programs
+(NOP-fills, pattern stores, vector-register fills) plus Linux userspace
+microbenchmarks.  This package provides a reduced instruction set that is
+rich enough to express all of them, an assembler producing real machine
+code (so instruction bytes land in the i-cache and can be compared to
+ground truth), and an interpreter that drives every fetch and data access
+through the SRAM-backed cache hierarchy.
+"""
+
+from .assembler import AssembledProgram, assemble
+from .core import Core
+from .isa import Instruction, Opcode, decode, encode
+from . import programs
+
+__all__ = [
+    "AssembledProgram",
+    "assemble",
+    "Core",
+    "Instruction",
+    "Opcode",
+    "decode",
+    "encode",
+    "programs",
+]

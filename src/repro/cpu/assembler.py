@@ -1,0 +1,265 @@
+"""Two-pass assembler for the mini ISA.
+
+Source syntax, one instruction per line::
+
+    ; comments run to end of line (also //)
+    start:
+        ldi   x0, #0x10
+        lsli  x0, x0, #8
+        ldimm x1, #0xdeadbeefcafef00d   ; pseudo-instruction, expands
+    loop:
+        str   x1, [x0, #0]
+        addi  x0, x0, #8
+        subi  x2, x2, #1
+        cbnz  x2, loop
+        hlt
+
+Registers are ``x0..x30`` plus ``xzr``; vector registers are ``v0..v31``.
+Immediates take ``#`` and accept decimal or ``0x`` hex.  The ``ldimm``
+pseudo-instruction expands into an LDI/LSLI/ORRI sequence building an
+arbitrary 64-bit constant, because the fixed 4-byte encoding only carries
+byte immediates (the same game real aarch64 plays with MOVZ/MOVK).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import AssemblerError
+from .isa import Instruction, Opcode, XZR, branch_fields, encode
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+@dataclass(frozen=True)
+class AssembledProgram:
+    """The output of :func:`assemble`."""
+
+    machine_code: bytes
+    labels: dict[str, int]  # label -> byte offset from program start
+    source: str
+
+    @property
+    def n_instructions(self) -> int:
+        """Number of 4-byte instructions."""
+        return len(self.machine_code) // 4
+
+
+def _strip(line: str) -> str:
+    for marker in (";", "//"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line.strip()
+
+
+def _parse_register(token: str, line: str) -> int:
+    token = token.lower().rstrip(",")
+    if token == "xzr":
+        return XZR
+    match = re.fullmatch(r"x(\d+)", token)
+    if not match or not 0 <= int(match.group(1)) <= 30:
+        raise AssemblerError(f"bad register {token!r} in {line!r}")
+    return int(match.group(1))
+
+
+def _parse_vector(token: str, line: str) -> int:
+    match = re.fullmatch(r"v(\d+)", token.lower().rstrip(","))
+    if not match or not 0 <= int(match.group(1)) <= 31:
+        raise AssemblerError(f"bad vector register {token!r} in {line!r}")
+    return int(match.group(1))
+
+
+def _parse_imm(token: str, line: str) -> int:
+    token = token.rstrip(",")
+    if not token.startswith("#"):
+        raise AssemblerError(f"immediate must start with # in {line!r}")
+    try:
+        return int(token[1:], 0)
+    except ValueError:
+        raise AssemblerError(f"bad immediate {token!r} in {line!r}") from None
+
+
+def _parse_mem(tokens: list[str], line: str) -> tuple[int, int]:
+    """Parse ``[xN, #imm]`` or ``[xN]`` into (base register, immediate)."""
+    joined = " ".join(tokens)
+    match = re.fullmatch(
+        r"\[\s*(x\d+|xzr)\s*(?:[,\s]\s*(#[^\]]+?))?\s*\]", joined.strip()
+    )
+    if not match:
+        raise AssemblerError(f"bad memory operand in {line!r}")
+    base = _parse_register(match.group(1), line)
+    imm = _parse_imm(match.group(2), line) if match.group(2) else 0
+    if not 0 <= imm <= 0xFF:
+        raise AssemblerError(f"memory offset {imm} out of byte range in {line!r}")
+    return base, imm
+
+
+def _expand_ldimm(rd: int, value: int) -> list[Instruction]:
+    """Build a 64-bit constant with LDI/LSLI/ORRI (MSB-first)."""
+    value &= (1 << 64) - 1
+    data = value.to_bytes(8, "big").lstrip(b"\x00") or b"\x00"
+    out = [Instruction(Opcode.LDI, rd, data[0])]
+    for byte in data[1:]:
+        out.append(Instruction(Opcode.LSLI, rd, rd, 8))
+        if byte:
+            out.append(Instruction(Opcode.ORRI, rd, rd, byte))
+    return out
+
+
+# Mnemonic -> (opcode, operand shape). Shapes are handled in _parse_line.
+_SIMPLE = {
+    "nop": Opcode.NOP,
+    "hlt": Opcode.HLT,
+    "dsb": Opcode.DSB,
+    "isb": Opcode.ISB,
+    "cacheen": Opcode.CACHEEN,
+    "cachedis": Opcode.CACHEDIS,
+}
+_REG_REG_REG = {
+    "add": Opcode.ADD,
+    "sub": Opcode.SUB,
+    "and": Opcode.AND,
+    "orr": Opcode.ORR,
+    "eor": Opcode.EOR,
+    "mul": Opcode.MUL,
+}
+_REG_REG_IMM = {
+    "addi": Opcode.ADDI,
+    "subi": Opcode.SUBI,
+    "lsli": Opcode.LSLI,
+    "lsri": Opcode.LSRI,
+    "orri": Opcode.ORRI,
+}
+_BRANCHES = {"b": Opcode.B, "cbz": Opcode.CBZ, "cbnz": Opcode.CBNZ}
+_MEMOPS = {
+    "ldr": Opcode.LDR,
+    "str": Opcode.STR,
+    "ldrb": Opcode.LDRB,
+    "strb": Opcode.STRB,
+}
+
+
+def _parse_line(
+    line: str, pending_branches: list[tuple[int, str, Opcode, int]],
+    instructions: list[Instruction | None],
+) -> None:
+    tokens = line.replace(",", " , ").split()
+    tokens = [t for t in tokens if t != ","]
+    mnemonic = tokens[0].lower()
+    args = tokens[1:]
+
+    if mnemonic in _SIMPLE:
+        instructions.append(Instruction(_SIMPLE[mnemonic]))
+    elif mnemonic == "ldi":
+        instructions.append(
+            Instruction(Opcode.LDI, _parse_register(args[0], line),
+                        _parse_imm(args[1], line))
+        )
+    elif mnemonic == "ldimm":
+        instructions.extend(
+            _expand_ldimm(_parse_register(args[0], line), _parse_imm(args[1], line))
+        )
+    elif mnemonic in _REG_REG_REG:
+        instructions.append(
+            Instruction(
+                _REG_REG_REG[mnemonic],
+                _parse_register(args[0], line),
+                _parse_register(args[1], line),
+                _parse_register(args[2], line),
+            )
+        )
+    elif mnemonic in _REG_REG_IMM:
+        imm = _parse_imm(args[2], line)
+        if not 0 <= imm <= 0xFF:
+            raise AssemblerError(f"immediate {imm} out of range in {line!r}")
+        instructions.append(
+            Instruction(
+                _REG_REG_IMM[mnemonic],
+                _parse_register(args[0], line),
+                _parse_register(args[1], line),
+                imm,
+            )
+        )
+    elif mnemonic in _MEMOPS:
+        reg = _parse_register(args[0], line)
+        base, imm = _parse_mem(args[1:], line)
+        instructions.append(Instruction(_MEMOPS[mnemonic], reg, base, imm))
+    elif mnemonic in _BRANCHES:
+        opcode = _BRANCHES[mnemonic]
+        if opcode is Opcode.B:
+            reg, label = 0, args[0]
+        else:
+            reg, label = _parse_register(args[0], line), args[1]
+        # Record a fixup; offset resolved in pass two.
+        pending_branches.append((len(instructions), label, opcode, reg))
+        instructions.append(None)  # placeholder
+    elif mnemonic == "dczva":
+        instructions.append(
+            Instruction(Opcode.DCZVA, _parse_register(args[0], line))
+        )
+    elif mnemonic == "vfill":
+        instructions.append(
+            Instruction(Opcode.VFILL, _parse_vector(args[0], line),
+                        _parse_imm(args[1], line))
+        )
+    elif mnemonic == "vins":
+        instructions.append(
+            Instruction(
+                Opcode.VINS,
+                _parse_vector(args[0], line),
+                _parse_imm(args[1], line),
+                _parse_register(args[2], line),
+            )
+        )
+    elif mnemonic == "vext":
+        instructions.append(
+            Instruction(
+                Opcode.VEXT,
+                _parse_register(args[0], line),
+                _parse_vector(args[1], line),
+                _parse_imm(args[2], line),
+            )
+        )
+    else:
+        raise AssemblerError(f"unknown mnemonic {mnemonic!r} in {line!r}")
+
+
+def assemble(source: str) -> AssembledProgram:
+    """Assemble source text into machine code.
+
+    Raises :class:`~repro.errors.AssemblerError` on any syntax problem,
+    unknown mnemonic, duplicate label, or out-of-range operand.
+    """
+    instructions: list[Instruction | None] = []
+    labels: dict[str, int] = {}
+    pending: list[tuple[int, str, Opcode, int]] = []
+
+    for raw_line in source.splitlines():
+        line = _strip(raw_line)
+        if not line:
+            continue
+        while line.split(maxsplit=1) and line.split(maxsplit=1)[0].endswith(":"):
+            head, _, rest = line.partition(":")
+            head = head.strip()
+            if not _LABEL_RE.fullmatch(head):
+                raise AssemblerError(f"bad label {head!r}")
+            if head in labels:
+                raise AssemblerError(f"duplicate label {head!r}")
+            labels[head] = len(instructions) * 4
+            line = rest.strip()
+            if not line:
+                break
+        if line:
+            _parse_line(line, pending, instructions)
+
+    for position, label, opcode, reg in pending:
+        if label not in labels:
+            raise AssemblerError(f"undefined label {label!r}")
+        offset = labels[label] // 4 - position
+        b, c = branch_fields(offset)
+        instructions[position] = Instruction(opcode, reg, b, c)
+
+    machine_code = b"".join(encode(i) for i in instructions)  # type: ignore[arg-type]
+    return AssembledProgram(machine_code=machine_code, labels=labels, source=source)

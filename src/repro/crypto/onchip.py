@@ -1,0 +1,175 @@
+"""On-chip AES runtimes — the victims Volt Boot defeats.
+
+Two of the paper's motivating defense families are modelled behaviourally:
+
+* :class:`RegisterAes` — TRESOR-style (paper refs [30], [13], [39]):
+  the key schedule lives only in the 128-bit vector registers; DRAM
+  never sees the key.  Each 16-byte round key occupies one ``v``
+  register, so AES-128's 11 round keys use ``v0..v10``.
+* :class:`CacheLockedAes` — CaSE-style (paper ref [44]): the schedule
+  and working state are pinned in L1 d-cache lines that are marked
+  *secure* (NS=0) and never evicted (a partially locked cache).
+
+Both runtimes perform real AES using only their on-chip copy of the
+schedule, so the secrets an attack recovers are the actual bytes the
+algorithm consumed.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from ..soc.soc import CoreUnit
+from .aes import AES_BLOCK_BYTES, expand_key, rounds_for_key
+
+#: GF(2^8) multiplication matrix used inline by the runtimes.
+from .aes import SBOX, _MIX, _add_round_key, _mix_columns, _shift_rows, _sub_bytes
+
+
+def _encrypt_with_schedule(round_keys: list[bytes], plaintext: bytes) -> bytes:
+    """AES encryption from an already-expanded schedule."""
+    if len(plaintext) != AES_BLOCK_BYTES:
+        raise ReproError(f"AES blocks are {AES_BLOCK_BYTES} bytes")
+    state = _add_round_key(list(plaintext), round_keys[0])
+    for round_key in round_keys[1:-1]:
+        state = _add_round_key(
+            _mix_columns(_shift_rows(_sub_bytes(state)), _MIX), round_key
+        )
+    state = _add_round_key(_shift_rows(_sub_bytes(state)), round_keys[-1])
+    return bytes(state)
+
+
+class RegisterAes:
+    """TRESOR-style AES keyed entirely from the vector register file.
+
+    ``install_key`` expands the key and writes each round key into one
+    vector register; the key material passed in is the caller's problem
+    to scrub (TRESOR derives it from the keyboard at boot).  ``encrypt``
+    reads the schedule back out of the registers for every block — no
+    schedule copy ever exists in DRAM or in d-cache.
+    """
+
+    def __init__(self, unit: CoreUnit, first_register: int = 0) -> None:
+        self.unit = unit
+        self.first_register = first_register
+        self._n_round_keys = 0
+
+    def install_key(self, key: bytes) -> int:
+        """Expand ``key`` into vector registers; returns registers used."""
+        round_keys = expand_key(key)
+        needed = len(round_keys)
+        if self.first_register + needed > self.unit.vreg.count:
+            raise ReproError(
+                f"schedule needs {needed} vector registers from "
+                f"v{self.first_register}; file has {self.unit.vreg.count}"
+            )
+        for offset, round_key in enumerate(round_keys):
+            self.unit.vreg.write_bytes(self.first_register + offset, round_key)
+        self._n_round_keys = needed
+        return needed
+
+    def _schedule_from_registers(self) -> list[bytes]:
+        if not self._n_round_keys:
+            raise ReproError("no key installed")
+        return [
+            self.unit.vreg.read_bytes(self.first_register + i)
+            for i in range(self._n_round_keys)
+        ]
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """Encrypt one block using only the register-resident schedule."""
+        return _encrypt_with_schedule(self._schedule_from_registers(), plaintext)
+
+    def registers_used(self) -> list[int]:
+        """Indices of the vector registers holding round keys."""
+        return list(
+            range(self.first_register, self.first_register + self._n_round_keys)
+        )
+
+
+class IramAes:
+    """Sentry-style AES keyed from on-chip iRAM (paper refs [8], [9]).
+
+    Sentry and its OCRAM successors park sensitive state in internal
+    RAM instead of DRAM, betting on the SoC package as the security
+    boundary.  The schedule is written once into iRAM and every block
+    operation reads it back from there — which is precisely the memory
+    the paper's §7.3 attack rides through a power cycle on the i.MX53.
+    """
+
+    def __init__(self, iram, schedule_offset: int = 0x4000) -> None:
+        self.iram = iram
+        self.schedule_offset = schedule_offset
+        self._schedule_len = 0
+
+    def install_key(self, key: bytes) -> int:
+        """Expand ``key`` into iRAM; returns the bytes written."""
+        schedule = b"".join(expand_key(key))
+        end = self.schedule_offset + len(schedule)
+        if end > self.iram.size_bytes:
+            raise ReproError(
+                f"schedule [{self.schedule_offset:#x}, {end:#x}) exceeds "
+                f"the {self.iram.size_bytes:#x}-byte iRAM"
+            )
+        self.iram.write_block(
+            self.iram.base_addr + self.schedule_offset, schedule
+        )
+        self._schedule_len = len(schedule)
+        return len(schedule)
+
+    def _schedule_from_iram(self) -> list[bytes]:
+        if not self._schedule_len:
+            raise ReproError("no key installed")
+        raw = self.iram.read_block(
+            self.iram.base_addr + self.schedule_offset, self._schedule_len
+        )
+        return [raw[i : i + 16] for i in range(0, len(raw), 16)]
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """Encrypt one block from the iRAM-resident schedule."""
+        return _encrypt_with_schedule(self._schedule_from_iram(), plaintext)
+
+
+class CacheLockedAes:
+    """CaSE-style AES pinned in secure, locked L1 d-cache lines.
+
+    ``install_key`` writes the expanded schedule into d-cache lines at
+    ``schedule_addr`` and marks them secure (NS=0) — modelling
+    TrustZone-aware cache locking.  Because the lines are locked, the
+    kernel and other processes can never evict them, which is why the
+    paper notes Volt Boot recovers CaSE-protected state in full
+    (§7.1.2 closing remark).
+    """
+
+    def __init__(self, unit: CoreUnit, schedule_addr: int = 0x70000) -> None:
+        self.unit = unit
+        self.schedule_addr = schedule_addr
+        self._schedule_len = 0
+
+    def install_key(self, key: bytes) -> int:
+        """Place the expanded schedule in locked secure lines.
+
+        Returns the number of cache lines consumed.
+        """
+        if not self.unit.l1d.enabled:
+            self.unit.l1d.invalidate_all()
+            self.unit.l1d.enabled = True
+        schedule = b"".join(expand_key(key))
+        self._schedule_len = len(schedule)
+        self.unit.l1d.write(self.schedule_addr, schedule, ns=False)
+        line = self.unit.l1d.geometry.line_bytes
+        return (len(schedule) + line - 1) // line
+
+    def _schedule_from_cache(self) -> list[bytes]:
+        if not self._schedule_len:
+            raise ReproError("no key installed")
+        raw = self.unit.l1d.read(self.schedule_addr, self._schedule_len, ns=False)
+        return [raw[i : i + 16] for i in range(0, len(raw), 16)]
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """Encrypt one block from the cache-resident schedule."""
+        return _encrypt_with_schedule(self._schedule_from_cache(), plaintext)
+
+    @staticmethod
+    def rounds(key: bytes) -> int:
+        """Round count for a key (exposed for tests/examples)."""
+        return rounds_for_key(key)

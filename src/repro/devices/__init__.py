@@ -1,0 +1,30 @@
+"""Concrete victim devices: the paper's three evaluation platforms.
+
+Builders return fully-wired :class:`~repro.soc.board.Board` instances
+matching paper Tables 2 and 3:
+
+* :func:`raspberry_pi_4` — BCM2711, 4×Cortex-A72, probe pad TP15 on
+  VDD_CORE at 0.8 V; targets: L1D, L1I, registers.
+* :func:`raspberry_pi_3` — BCM2837, 4×Cortex-A53, probe pad PP58 on
+  VDD_CORE at 1.2 V; targets: L1D, L1I, registers.
+* :func:`imx53_qsb` — i.MX535, 1×Cortex-A8, probe pad SH13 on VDDAL1 at
+  1.3 V; target: 128 KB iRAM.
+
+Each accepts countermeasure toggles (TrustZone enforcement, MBIST,
+authenticated-boot fusing) used by the §8 experiments.
+"""
+
+from .builders import build_device, imx53_qsb, raspberry_pi_3, raspberry_pi_4
+from .registry import DEVICES, DeviceInfo, device_info, platform_table, probe_table
+
+__all__ = [
+    "raspberry_pi_4",
+    "raspberry_pi_3",
+    "imx53_qsb",
+    "build_device",
+    "DEVICES",
+    "DeviceInfo",
+    "device_info",
+    "platform_table",
+    "probe_table",
+]

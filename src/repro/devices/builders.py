@@ -1,0 +1,296 @@
+"""Builders for the three evaluation boards.
+
+Each builder wires the full stack: DRAM + memory map, SoC (caches,
+register files, iRAM, boot ROM, VideoCore), PMIC rails, PDN nets and test
+pads, power domains, and the shared event clock.  Geometry and rail facts
+follow the paper's Table 2/3 and the respective TRMs.
+
+Countermeasure toggles (``trustzone_enforced``, ``mbist_enabled``,
+``auth_boot``) exist so the §8 survey can measure each defense on
+otherwise-identical hardware.
+"""
+
+from __future__ import annotations
+
+from ..circuits.dram import DramArray
+from ..circuits.passives import (
+    DecouplingNetwork,
+    DisconnectSurge,
+    SupplyLineParasitics,
+)
+from ..circuits.pdn import NetKind, PowerDeliveryNetwork
+from ..circuits.pmic import BuckConverter, Ldo, Pmic
+from ..errors import AttackError
+from ..power.events import PowerEventLog
+from ..rng import DEFAULT_SEED, SeedSequenceFactory
+from ..soc.board import Board
+from ..soc.bootrom import BootRom, ClobberRegion
+from ..soc.cache import CacheGeometry
+from ..soc.memory_map import MainMemory, MemoryMap
+from ..soc.soc import DomainSpec, Soc, SocConfig
+from ..units import kib
+
+#: Simulated main-memory size.  Real boards carry gigabytes; the
+#: workloads of the paper (cache-sized arrays, small binaries) need far
+#: less, and every DRAM byte costs simulation memory.
+DRAM_BYTES = kib(512)
+
+#: Surge profile of a rail feeding a hungry CPU cluster (paper §6: the
+#: cores momentarily draw their supply from the probe on disconnect).
+CORE_SURGE = DisconnectSurge(peak_current_a=2.0, duration_s=20e-6,
+                             settle_current_a=0.008)
+
+#: Surge profile of a memory-only rail (the i.MX53's iRAM domain does not
+#: feed the CPU — the core draws through VCCGP instead).
+MEMORY_SURGE = DisconnectSurge(peak_current_a=0.25, duration_s=20e-6,
+                               settle_current_a=0.002)
+
+#: Aggregate decoupling on a core rail.  47 uF holds the rail through a
+#: 20 us surge only when the probe covers most of the current — an
+#: under-sized probe lets the rail dip below cell DRVs (the probe-sweep
+#: ablation).
+CORE_DECOUPLING_F = 47e-6
+
+
+def _finish_board(
+    name: str,
+    config: SocConfig,
+    pmic: Pmic,
+    nets: list[tuple[str, NetKind, str]],
+    pads: list[tuple[str, str, str]],
+    seed: int,
+) -> Board:
+    """Assemble the shared tail of every builder."""
+    seeds = SeedSequenceFactory(seed)
+    log = PowerEventLog()
+    dram = DramArray(
+        DRAM_BYTES * 8, rng=seeds.generator("dram"), name=f"{name}.dram"
+    )
+    memory_map = MemoryMap()
+    main_memory = MainMemory(dram, base_addr=0)
+    memory_map.add_region("dram", 0, DRAM_BYTES, main_memory)
+    soc = Soc(config, memory_map, dram, seeds.child("soc"), log)
+
+    pdn = PowerDeliveryNetwork(pmic)
+    for net_name, kind, rail in nets:
+        capacitance = (
+            CORE_DECOUPLING_F if kind is NetKind.CORE else 100e-6
+        )
+        pdn.add_net(
+            net_name,
+            kind,
+            rail,
+            decoupling=DecouplingNetwork(capacitance_f=capacitance),
+            parasitics=SupplyLineParasitics(),
+        )
+    for domain_spec in config.domains:
+        pdn.attach_domain(domain_spec.name, domain_spec.name)
+    for pad_name, net_name, description in pads:
+        pdn.add_test_pad(pad_name, net_name, description)
+
+    board = Board(name, soc, pmic, pdn, main_memory, seeds.child("board"), log)
+    board.plug_in()
+    return board
+
+
+def raspberry_pi_4(
+    seed: int = DEFAULT_SEED,
+    trustzone_enforced: bool = False,
+    mbist_enabled: bool = False,
+    auth_boot: bool = False,
+    l1_replacement: str = "lru",
+) -> Board:
+    """Build a powered Raspberry Pi 4 (BCM2711, 4×Cortex-A72).
+
+    L1D: 32 KB 2-way; L1I: 48 KB 3-way; shared 1 MB L2 clobbered by the
+    VideoCore at boot.  Probe pad TP15 rides VDD_CORE at 0.8 V.
+    """
+    pmic = Pmic(name="MxL7704")
+    pmic.add_rail(BuckConverter("VDD_CORE", 0.8, max_current_a=6.0))
+    pmic.add_rail(BuckConverter("VDD_SOC", 1.1, max_current_a=4.0))
+    pmic.add_rail(BuckConverter("DDR_VDDQ", 1.1, max_current_a=2.0))
+    pmic.add_rail(Ldo("VDD_IO", 3.3, max_current_a=0.5))
+
+    config = SocConfig(
+        name="BCM2711",
+        cpu_name="Cortex-A72",
+        core_count=4,
+        l1d_geometry=CacheGeometry(size_bytes=kib(32), ways=2, line_bytes=64),
+        l1i_geometry=CacheGeometry(size_bytes=kib(48), ways=3, line_bytes=64),
+        l2_geometry=CacheGeometry(size_bytes=kib(1024), ways=16, line_bytes=64),
+        l2_shared_with_videocore=True,
+        domains=(
+            DomainSpec(
+                "VDD_CORE", 0.8, ("l1-caches", "registers"), surge=CORE_SURGE
+            ),
+            DomainSpec("VDD_SOC", 1.1, ("l2",), surge=MEMORY_SURGE),
+            DomainSpec("DDR_VDDQ", 1.1, ("dram",), surge=MEMORY_SURGE),
+        ),
+        bootrom=BootRom(
+            name="bcm2711.bootrom", internal_boot=False, auth_fused=auth_boot
+        ),
+        trustzone_enforced=trustzone_enforced,
+        mbist_enabled=mbist_enabled,
+        l1_replacement=l1_replacement,
+    )
+
+    nets = [
+        ("VDD_CORE", NetKind.CORE, "VDD_CORE"),
+        ("VDD_SOC", NetKind.MEMORY, "VDD_SOC"),
+        ("DDR_VDDQ", NetKind.MEMORY, "DDR_VDDQ"),
+        ("VDD_IO", NetKind.IO, "VDD_IO"),
+    ]
+    pads = [
+        ("TP15", "VDD_CORE", "core-rail test pad near the PMIC"),
+        ("TP7", "VDD_SOC", "SoC-rail decoupling cap lead"),
+        ("TP2", "VDD_IO", "3.3V IO rail test pad"),
+    ]
+    return _finish_board("raspberry-pi-4", config, pmic, nets, pads, seed)
+
+
+def raspberry_pi_3(
+    seed: int = DEFAULT_SEED,
+    trustzone_enforced: bool = False,
+    mbist_enabled: bool = False,
+    auth_boot: bool = False,
+) -> Board:
+    """Build a powered Raspberry Pi 3 (BCM2837, 4×Cortex-A53).
+
+    L1D: 32 KB 4-way; L1I: 32 KB 2-way with the vendor-private
+    instruction+ECC bit interleave of paper footnote 4; shared 512 KB L2.
+    Probe pad PP58 rides VDD_CORE at 1.2 V.
+    """
+    pmic = Pmic(name="rpi3-pmu")
+    pmic.add_rail(BuckConverter("VDD_CORE", 1.2, max_current_a=5.0))
+    pmic.add_rail(BuckConverter("VDD_SOC", 1.2, max_current_a=3.0))
+    pmic.add_rail(BuckConverter("DDR_VDDQ", 1.2, max_current_a=2.0))
+    pmic.add_rail(Ldo("VDD_IO", 3.3, max_current_a=0.5))
+
+    config = SocConfig(
+        name="BCM2837",
+        cpu_name="Cortex-A53",
+        core_count=4,
+        l1d_geometry=CacheGeometry(size_bytes=kib(32), ways=4, line_bytes=64),
+        l1i_geometry=CacheGeometry(size_bytes=kib(32), ways=2, line_bytes=64),
+        l2_geometry=CacheGeometry(size_bytes=kib(512), ways=16, line_bytes=64),
+        l2_shared_with_videocore=True,
+        l1i_interleave=True,
+        domains=(
+            DomainSpec(
+                "VDD_CORE", 1.2, ("l1-caches", "registers"), surge=CORE_SURGE
+            ),
+            DomainSpec("VDD_SOC", 1.2, ("l2",), surge=MEMORY_SURGE),
+            DomainSpec("DDR_VDDQ", 1.2, ("dram",), surge=MEMORY_SURGE),
+        ),
+        bootrom=BootRom(
+            name="bcm2837.bootrom", internal_boot=False, auth_fused=auth_boot
+        ),
+        trustzone_enforced=trustzone_enforced,
+        mbist_enabled=mbist_enabled,
+    )
+
+    nets = [
+        ("VDD_CORE", NetKind.CORE, "VDD_CORE"),
+        ("VDD_SOC", NetKind.MEMORY, "VDD_SOC"),
+        ("DDR_VDDQ", NetKind.MEMORY, "DDR_VDDQ"),
+        ("VDD_IO", NetKind.IO, "VDD_IO"),
+    ]
+    pads = [
+        ("PP58", "VDD_CORE", "core-rail test pad near the PMU"),
+        ("PP7", "VDD_SOC", "SoC-rail test pad"),
+        ("PP3", "VDD_IO", "3.3V IO rail test pad"),
+    ]
+    return _finish_board("raspberry-pi-3", config, pmic, nets, pads, seed)
+
+
+#: Base address of the i.MX53 iRAM window.
+IMX53_IRAM_BASE = 0xF8000000
+
+#: i.MX53 iRAM size (128 KB).
+IMX53_IRAM_SIZE = kib(128)
+
+#: Boot-ROM scratchpad ranges (relative to the iRAM base) the i.MX53
+#: clobbers before releasing the core — the error clusters of Figure 10.
+IMX53_SCRATCHPAD = (
+    ClobberRegion(0x083C, 0x18CC),   # DDR-training + ROM stack region
+    ClobberRegion(0x1F400, 0x20000),  # tail block used late in ROM boot
+)
+
+
+def imx53_qsb(
+    seed: int = DEFAULT_SEED,
+    trustzone_enforced: bool = False,
+    mbist_enabled: bool = False,
+    auth_boot: bool = False,
+    jtag_fused: bool = False,
+) -> Board:
+    """Build a powered i.MX53 quick-start board (i.MX535, Cortex-A8).
+
+    The 128 KB iRAM sits in the L1 memory domain on rail VDDAL1 (probe
+    pad SH13, 1.3 V) while the CPU core draws through VCCGP — the domain
+    separation that lets the paper hold the iRAM alone (§7.3).  The SoC
+    boots from internal ROM, using part of the iRAM as scratchpad.
+    """
+    pmic = Pmic(name="DA9053")
+    pmic.add_rail(BuckConverter("VCCGP", 1.1, max_current_a=3.0))
+    pmic.add_rail(BuckConverter("VDDAL1", 1.3, max_current_a=1.5))
+    pmic.add_rail(BuckConverter("VDD_EMI", 1.5, max_current_a=2.0))
+    pmic.add_rail(Ldo("VDD_IO", 3.15, max_current_a=0.5))
+
+    config = SocConfig(
+        name="i.MX535",
+        cpu_name="Cortex-A8",
+        core_count=1,
+        l1d_geometry=CacheGeometry(size_bytes=kib(32), ways=4, line_bytes=64),
+        l1i_geometry=CacheGeometry(size_bytes=kib(32), ways=4, line_bytes=64),
+        l2_geometry=CacheGeometry(size_bytes=kib(256), ways=8, line_bytes=64),
+        iram_base=IMX53_IRAM_BASE,
+        iram_size=IMX53_IRAM_SIZE,
+        domains=(
+            DomainSpec(
+                "VCCGP", 1.1, ("l1-caches", "registers", "l2"), surge=CORE_SURGE
+            ),
+            DomainSpec("VDDAL1", 1.3, ("iram",), surge=MEMORY_SURGE),
+            DomainSpec("VDD_EMI", 1.5, ("dram",), surge=MEMORY_SURGE),
+        ),
+        bootrom=BootRom(
+            name="imx53.bootrom",
+            scratchpad_regions=list(IMX53_SCRATCHPAD),
+            internal_boot=True,
+            auth_fused=auth_boot,
+        ),
+        trustzone_enforced=trustzone_enforced,
+        mbist_enabled=mbist_enabled,
+        jtag_enabled=not jtag_fused,
+    )
+
+    nets = [
+        ("VCCGP", NetKind.CORE, "VCCGP"),
+        ("VDDAL1", NetKind.MEMORY, "VDDAL1"),
+        ("VDD_EMI", NetKind.MEMORY, "VDD_EMI"),
+        ("VDD_IO", NetKind.IO, "VDD_IO"),
+    ]
+    pads = [
+        ("SH13", "VDDAL1", "L1-memory-domain shunt near the PMIC"),
+        ("SH10", "VCCGP", "core-rail shunt"),
+        ("SH2", "VDD_IO", "IO rail shunt"),
+    ]
+    return _finish_board("imx53-qsb", config, pmic, nets, pads, seed)
+
+
+_BUILDERS = {
+    "rpi4": raspberry_pi_4,
+    "rpi3": raspberry_pi_3,
+    "imx53": imx53_qsb,
+}
+
+
+def build_device(key: str, seed: int = DEFAULT_SEED, **toggles) -> Board:
+    """Build any registered device by registry key."""
+    try:
+        builder = _BUILDERS[key]
+    except KeyError:
+        raise AttackError(
+            f"unknown device {key!r}; known: {sorted(_BUILDERS)}"
+        ) from None
+    return builder(seed, **toggles)

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the Volt Boot reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+The taxonomy mirrors the layers of the system: circuit/electrical faults,
+power-network faults, SoC/architectural access violations, CPU execution
+faults, and attack-orchestration failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CircuitError(ReproError):
+    """Electrical-layer failure (invalid voltage, probe misuse, ...)."""
+
+
+class PowerError(ReproError):
+    """Power-network failure (unknown rail, illegal gating transition)."""
+
+
+class ProbeError(CircuitError):
+    """A voltage probe was attached or operated incorrectly."""
+
+
+class AccessViolation(ReproError):
+    """An architectural access was rejected (privilege, TrustZone, ...)."""
+
+
+class SecureAccessViolation(AccessViolation):
+    """A non-secure agent touched TrustZone-protected state."""
+
+
+class PrivilegeViolation(AccessViolation):
+    """An operation demanded a higher exception level than the caller's."""
+
+
+class MemoryMapError(ReproError):
+    """An address fell outside every mapped region, or regions collided."""
+
+
+class CpuFault(ReproError):
+    """The simulated CPU hit an unrecoverable execution fault."""
+
+
+class AssemblerError(CpuFault):
+    """The mini-assembler rejected a source program."""
+
+
+class BootError(ReproError):
+    """The simulated boot flow could not complete (auth failure, no media)."""
+
+
+class AuthenticatedBootError(BootError):
+    """Alternate-media boot was refused by an authenticated-boot fuse."""
+
+
+class AttackError(ReproError):
+    """An attack step could not be carried out on the target board."""
+
+
+class CalibrationError(ReproError):
+    """A physics model was configured with non-physical parameters."""

@@ -1,0 +1,62 @@
+"""Paper experiments: one module per table/figure of the evaluation.
+
+Every module exposes ``run(...) -> AttackReport``-style entry points plus
+the structured data behind them, so the benchmark harness can both print
+the paper-shaped tables and assert on the result shapes.
+
+| Module | Reproduces |
+|---|---|
+| :mod:`~repro.experiments.table1` | Table 1 — cold boot errors on BCM2711 d-cache vs temperature |
+| :mod:`~repro.experiments.figure3` | Figure 3 — cold-booted d-cache way snapshot (random) |
+| :mod:`~repro.experiments.table4` | Table 4 — d-cache extraction vs array size under Linux |
+| :mod:`~repro.experiments.figure7` | Figure 7 — bare-metal i-cache snapshots (BCM2711/BCM2837) |
+| :mod:`~repro.experiments.figure8` | Figure 8 — cache snapshots under an OS (0xAA app) |
+| :mod:`~repro.experiments.figure9` | Figure 9 — i.MX53 iRAM bitmap recovery |
+| :mod:`~repro.experiments.figure10` | Figure 10 — per-512-bit Hamming profile of the iRAM |
+| :mod:`~repro.experiments.registers` | §7.2 — vector-register retention |
+| :mod:`~repro.experiments.accessibility` | §6.2 — post-boot accessible memory fractions |
+| :mod:`~repro.experiments.retention_sweep` | §3/§5 — retention vs temperature and off-time |
+| :mod:`~repro.experiments.probe_sweep` | §6 — probe current/voltage adequacy ablation |
+| :mod:`~repro.experiments.countermeasures` | §8 — defense survey |
+| :mod:`~repro.experiments.platforms` | Tables 2 & 3 — platform/pad inventory |
+"""
+
+from . import (
+    accessibility,
+    countermeasures,
+    dram_coldboot,
+    figure3,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    microarch_leak,
+    platforms,
+    policy_ablation,
+    probe_sweep,
+    registers,
+    retention_sweep,
+    standby_retention,
+    table1,
+    table4,
+)
+
+__all__ = [
+    "table1",
+    "figure3",
+    "table4",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "registers",
+    "accessibility",
+    "retention_sweep",
+    "probe_sweep",
+    "countermeasures",
+    "platforms",
+    "dram_coldboot",
+    "microarch_leak",
+    "standby_retention",
+    "policy_ablation",
+]

@@ -1,0 +1,94 @@
+"""Shared plumbing for the experiment modules.
+
+Victim-preparation helpers (cache fills, NOP sleds, register fills) and
+snapshot utilities used by several tables/figures.  Experiments capture
+*pre-attack ground truth* by reading the raw SRAM images right before
+the power cut — the experimenter wrote the data, so this mirrors the
+paper's "compare to previously-stored binaries" methodology.
+"""
+
+from __future__ import annotations
+
+from ..cpu.assembler import assemble
+from ..cpu.core import Core
+from ..cpu.programs import nop_fill, vector_fill
+from ..soc.board import Board
+from ..soc.bootrom import BootMedia
+from ..soc.soc import CoreUnit
+
+#: Boot media used by victims and attackers in the experiments.
+VICTIM_MEDIA = BootMedia("victim-os", kernel="victim")
+ATTACKER_MEDIA = BootMedia("attacker-usb", kernel="extractor")
+
+#: DRAM base address for per-core victim buffers (64 KB apart so cores
+#: never alias in DRAM).
+VICTIM_BASE = 0x40000
+VICTIM_STRIDE = 0x10000
+
+#: DRAM load address for victim program text, per core.
+CODE_BASE = 0x8000
+CODE_STRIDE = 0x1000
+
+
+def victim_buffer_base(core_index: int) -> int:
+    """Per-core victim data buffer base address."""
+    return VICTIM_BASE + core_index * VICTIM_STRIDE
+
+
+def victim_code_base(core_index: int) -> int:
+    """Per-core victim program load address."""
+    return CODE_BASE + core_index * CODE_STRIDE
+
+
+def fill_dcache(board: Board, core_index: int, pattern: int = 0xAA) -> int:
+    """Enable and completely fill one core's d-cache with ``pattern``.
+
+    Streams cache-size bytes of the repeated pattern through the cache
+    (write + allocate), touching every set of every way.  Returns the
+    number of bytes written.
+    """
+    unit = board.soc.core(core_index)
+    cache = unit.l1d
+    if not cache.enabled:
+        cache.invalidate_all()
+        cache.enabled = True
+    line = cache.geometry.line_bytes
+    payload = bytes([pattern & 0xFF]) * line
+    base = victim_buffer_base(core_index)
+    total = cache.geometry.size_bytes
+    for offset in range(0, total, line):
+        cache.write(base + offset, payload)
+    return total
+
+
+def run_nop_fill(board: Board, core_index: int) -> bytes:
+    """Run the NOP-sled victim on one core; returns its machine code."""
+    unit = board.soc.core(core_index)
+    program = assemble(nop_fill(unit.l1i.geometry.size_bytes))
+    core = Core(unit, board.soc.memory_map)
+    core.load_program(program.machine_code, victim_code_base(core_index))
+    core.run(max_steps=len(program.machine_code) // 4 + 16)
+    return program.machine_code
+
+
+def run_vector_fill(board: Board, core_index: int) -> None:
+    """Park the §7.2 register patterns on one core."""
+    unit = board.soc.core(core_index)
+    program = assemble(vector_fill())
+    core = Core(unit, board.soc.memory_map)
+    core.load_program(program.machine_code, victim_code_base(core_index))
+    core.run()
+
+
+def snapshot_l1d(unit: CoreUnit) -> list[bytes]:
+    """Raw data-RAM images of every d-cache way (ground truth capture)."""
+    return [
+        unit.l1d.raw_way_image(way) for way in range(unit.l1d.geometry.ways)
+    ]
+
+
+def snapshot_l1i(unit: CoreUnit) -> list[bytes]:
+    """Raw data-RAM images of every i-cache way."""
+    return [
+        unit.l1i.raw_way_image(way) for way in range(unit.l1i.geometry.ways)
+    ]

@@ -1,0 +1,53 @@
+"""Render every figure experiment's bit images to PGM files.
+
+The paper's figures are grayscale bit-matrix snapshots; this module
+regenerates all of them into an output directory so the reproduction's
+visuals can be inspected with any image viewer.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..analysis.imaging import write_pgm
+from ..rng import DEFAULT_SEED
+from . import figure3, figure7, figure8, figure9
+
+
+def render_all(out_dir: str | Path, seed: int = DEFAULT_SEED) -> list[Path]:
+    """Regenerate every figure's images; returns the written paths."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    fig3 = figure3.run(seed=seed)
+    written.append(
+        write_pgm(fig3.way0_image, 512, out_dir / "figure3_coldboot_way0.pgm")
+    )
+
+    for device_result in figure7.run(seed=seed):
+        written.append(
+            write_pgm(
+                device_result.way0_image,
+                512,
+                out_dir / f"figure7_{device_result.device.lower()}_icache.pgm",
+            )
+        )
+
+    fig8 = figure8.run(seed=seed)
+    written.append(
+        write_pgm(fig8.dcache_way0, 512, out_dir / "figure8_dcache_way0.pgm")
+    )
+    written.append(
+        write_pgm(
+            fig8.icache_way_images[0], 512, out_dir / "figure8_icache_way0.pgm"
+        )
+    )
+
+    fig9 = figure9.run(seed=seed)
+    for panel in range(4):
+        path = out_dir / f"figure9_panel_{chr(ord('a') + panel)}.pgm"
+        fig9.save_panel_pgm(panel, str(path))
+        written.append(path)
+
+    return written

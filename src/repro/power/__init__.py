@@ -1,0 +1,28 @@
+"""Power-domain architecture: domains, gating, sequencing, event logs.
+
+Paper §2.3 divides an SoC's supplies into core, memory, and I/O domains,
+each independently gate-able and each surfacing at its own board net.
+This package models that separation — the design choice Volt Boot
+weaponises:
+
+* :mod:`~repro.power.domain` — a named power domain owning a set of
+  volatile loads (SRAM arrays, register files, DRAM modules);
+* :mod:`~repro.power.pmu` — the on-chip power management unit that
+  sequences and gates domains;
+* :mod:`~repro.power.events` — a simulated-time event log so attacks and
+  experiments can reconstruct exactly what happened to each rail.
+"""
+
+from .domain import PowerDomain, PowerLoad
+from .events import PowerEvent, PowerEventKind, PowerEventLog, SimClock
+from .pmu import PowerManagementUnit
+
+__all__ = [
+    "PowerDomain",
+    "PowerLoad",
+    "PowerEvent",
+    "PowerEventKind",
+    "PowerEventLog",
+    "SimClock",
+    "PowerManagementUnit",
+]

@@ -1,0 +1,508 @@
+"""SRAM-backed set-associative caches.
+
+Caches are the paper's headline target (§7.1).  Two properties make them
+attackable, and both are modelled here explicitly:
+
+* **Tag/valid state and data payloads live in separate SRAM macros.**
+  Clean/invalidate operations only clear valid bits in the *tag* RAM; the
+  data RAM keeps its contents (paper §5.2.4: "cleaning and invalidating a
+  cache at the boot phase does not erase the contents").  The only
+  software path that actually zeroes data RAM is ``DC ZVA``.
+* **The raw RAMs are readable through the debug interface** (CP15
+  RAMINDEX) regardless of valid bits, given a sufficient exception level.
+
+The cache model is a real working cache: the simulated CPU's loads,
+stores, and fetches stream through it, with LRU replacement, write-back +
+write-allocate behaviour, and an enable bit (L1 caches on the Broadcom
+parts are software-enabled, which is why a post-attack boot can avoid
+touching them entirely — §6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from ..errors import CalibrationError, CircuitError, MemoryMapError
+from ..circuits.sram import SramArray, SramParameters
+
+
+class BackingStore(Protocol):
+    """Next level of the memory hierarchy (an L2, or main memory)."""
+
+    def read_block(self, addr: int, size: int) -> bytes:
+        """Read ``size`` bytes at physical address ``addr``."""
+
+    def write_block(self, addr: int, data: bytes) -> None:
+        """Write ``data`` at physical address ``addr``."""
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Shape of a set-associative cache."""
+
+    size_bytes: int
+    ways: int
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.ways <= 0 or self.line_bytes <= 0 or self.size_bytes <= 0:
+            raise CalibrationError("cache dimensions must be positive")
+        if self.line_bytes & (self.line_bytes - 1):
+            raise CalibrationError("line size must be a power of two")
+        if self.size_bytes % (self.ways * self.line_bytes):
+            raise CalibrationError(
+                "cache size must be a multiple of ways * line size"
+            )
+        if self.sets & (self.sets - 1):
+            raise CalibrationError("set count must be a power of two")
+
+    @property
+    def sets(self) -> int:
+        """Number of sets."""
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+    @property
+    def way_bytes(self) -> int:
+        """Capacity of a single way."""
+        return self.sets * self.line_bytes
+
+    @property
+    def offset_bits(self) -> int:
+        """Bits of the address selecting a byte within a line."""
+        return self.line_bytes.bit_length() - 1
+
+    @property
+    def index_bits(self) -> int:
+        """Bits of the address selecting a set."""
+        return self.sets.bit_length() - 1
+
+    def split(self, addr: int) -> tuple[int, int, int]:
+        """Split an address into (tag, set index, line offset)."""
+        offset = addr & (self.line_bytes - 1)
+        index = (addr >> self.offset_bits) & (self.sets - 1)
+        tag = addr >> (self.offset_bits + self.index_bits)
+        return tag, index, offset
+
+    def line_base(self, addr: int) -> int:
+        """Address of the first byte of the line containing ``addr``."""
+        return addr & ~(self.line_bytes - 1)
+
+
+# Tag-entry packing: one 64-bit word per line in the tag RAM.
+_TAG_SHIFT = 0
+_TAG_MASK = (1 << 48) - 1
+_VALID_BIT = 1 << 48
+_DIRTY_BIT = 1 << 49
+_NS_BIT = 1 << 50
+
+
+class TagArray:
+    """Tag/valid/dirty/NS metadata stored in a real SRAM macro.
+
+    Each entry occupies 64 bits of tag RAM.  Because the bits live in an
+    :class:`SramArray`, they obey the same retention physics as the data
+    payloads — a power cycle without a probe randomises the valid bits
+    along with everything else.
+    """
+
+    ENTRY_BYTES = 8
+
+    def __init__(self, sram: SramArray, entries: int) -> None:
+        if sram.n_bytes < entries * self.ENTRY_BYTES:
+            raise CalibrationError("tag RAM too small for the entry count")
+        self._sram = sram
+        self._entries = entries
+
+    @property
+    def sram(self) -> SramArray:
+        """The underlying tag SRAM macro."""
+        return self._sram
+
+    def _read_word(self, entry: int) -> int:
+        raw = self._sram.read_bytes(entry * self.ENTRY_BYTES, self.ENTRY_BYTES)
+        return int.from_bytes(raw, "little")
+
+    def _write_word(self, entry: int, word: int) -> None:
+        self._sram.write_bytes(
+            entry * self.ENTRY_BYTES, word.to_bytes(self.ENTRY_BYTES, "little")
+        )
+
+    def read(self, entry: int) -> tuple[int, bool, bool, bool]:
+        """Return (tag, valid, dirty, ns) for one entry."""
+        word = self._read_word(entry)
+        return (
+            (word >> _TAG_SHIFT) & _TAG_MASK,
+            bool(word & _VALID_BIT),
+            bool(word & _DIRTY_BIT),
+            bool(word & _NS_BIT),
+        )
+
+    def write(
+        self, entry: int, tag: int, valid: bool, dirty: bool, ns: bool
+    ) -> None:
+        """Overwrite one entry."""
+        word = (tag & _TAG_MASK) << _TAG_SHIFT
+        if valid:
+            word |= _VALID_BIT
+        if dirty:
+            word |= _DIRTY_BIT
+        if ns:
+            word |= _NS_BIT
+        self._write_word(entry, word)
+
+    def clear_valid(self, entry: int) -> None:
+        """Drop the valid bit, leaving everything else untouched."""
+        word = self._read_word(entry)
+        self._write_word(entry, word & ~_VALID_BIT)
+
+    def set_flags(
+        self, entry: int, dirty: bool | None = None, ns: bool | None = None
+    ) -> None:
+        """Update the dirty and/or NS flag of one entry."""
+        word = self._read_word(entry)
+        if dirty is not None:
+            word = (word | _DIRTY_BIT) if dirty else (word & ~_DIRTY_BIT)
+        if ns is not None:
+            word = (word | _NS_BIT) if ns else (word & ~_NS_BIT)
+        self._write_word(entry, word)
+
+
+class SetAssociativeCache:
+    """A write-back, write-allocate, LRU set-associative cache.
+
+    The data payload of each way and the tag metadata are separate
+    :class:`SramArray` macros, so the power layer can hold or drop them as
+    physical units.  Architectural state that real hardware keeps in
+    flip-flops (the enable bit, LRU ages) is *not* SRAM-backed and is
+    reset by a reboot — which matches hardware: post-reboot, caches come
+    up disabled with undefined contents.
+    """
+
+    #: Supported replacement policies.
+    REPLACEMENT_POLICIES = ("lru", "round-robin", "random")
+
+    def __init__(
+        self,
+        name: str,
+        geometry: CacheGeometry,
+        backing: BackingStore,
+        sram_params: SramParameters,
+        rng: np.random.Generator,
+        line_interleave: bool = False,
+        replacement: str = "lru",
+    ) -> None:
+        if replacement not in self.REPLACEMENT_POLICIES:
+            raise CalibrationError(
+                f"unknown replacement policy {replacement!r}; "
+                f"choose from {self.REPLACEMENT_POLICIES}"
+            )
+        self.name = name
+        self.geometry = geometry
+        self.backing = backing
+        self.replacement = replacement
+        g = geometry
+        self.data_rams = [
+            SramArray(
+                g.way_bytes * 8,
+                sram_params,
+                np.random.default_rng(rng.integers(0, 2**63)),
+                name=f"{name}.data.w{way}",
+            )
+            for way in range(g.ways)
+        ]
+        tag_sram = SramArray(
+            g.sets * g.ways * TagArray.ENTRY_BYTES * 8,
+            sram_params,
+            np.random.default_rng(rng.integers(0, 2**63)),
+            name=f"{name}.tag",
+        )
+        self.tags = TagArray(tag_sram, g.sets * g.ways)
+        # Optional undocumented in-line bit interleave (BCM2837 i-cache
+        # stores instructions+ECC in a vendor-private order — paper
+        # footnote 4).  The permutation is fixed per device.
+        self._interleave: np.ndarray | None = None
+        if line_interleave:
+            perm_rng = np.random.default_rng(rng.integers(0, 2**63))
+            self._interleave = perm_rng.permutation(g.line_bytes * 8)
+        # Flip-flop state (lost at reboot, not SRAM-backed).
+        self.enabled = False
+        self._lru = np.zeros((g.sets, g.ways), dtype=np.int64)
+        self._lru_tick = 0
+        self._rr_pointer = np.zeros(g.sets, dtype=np.int64)
+        self._victim_rng = np.random.default_rng(rng.integers(0, 2**63))
+        # Statistics.
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # SRAM plumbing (what the power layer attaches to a domain)
+    # ------------------------------------------------------------------
+
+    def sram_macros(self) -> list[SramArray]:
+        """Every SRAM macro in this cache (data ways + tag RAM)."""
+        return [*self.data_rams, self.tags.sram]
+
+    def reset_architectural_state(self) -> None:
+        """Model a reboot: enable bit and LRU flip-flops reset.
+
+        SRAM contents are deliberately untouched — that is the attack
+        surface.
+        """
+        self.enabled = False
+        self._lru[:] = 0
+        self._lru_tick = 0
+        self._rr_pointer[:] = 0
+
+    # ------------------------------------------------------------------
+    # Tag helpers
+    # ------------------------------------------------------------------
+
+    def _entry(self, index: int, way: int) -> int:
+        return index * self.geometry.ways + way
+
+    def _lookup(self, tag: int, index: int) -> int | None:
+        for way in range(self.geometry.ways):
+            stored_tag, valid, _dirty, _ns = self.tags.read(self._entry(index, way))
+            if valid and stored_tag == tag:
+                return way
+        return None
+
+    def _choose_victim(self, index: int) -> int:
+        for way in range(self.geometry.ways):
+            _tag, valid, _dirty, _ns = self.tags.read(self._entry(index, way))
+            if not valid:
+                return way
+        if self.replacement == "lru":
+            return int(np.argmin(self._lru[index]))
+        if self.replacement == "round-robin":
+            victim = int(self._rr_pointer[index])
+            self._rr_pointer[index] = (victim + 1) % self.geometry.ways
+            return victim
+        return int(self._victim_rng.integers(0, self.geometry.ways))
+
+    def _touch(self, index: int, way: int) -> None:
+        self._lru_tick += 1
+        self._lru[index, way] = self._lru_tick
+
+    # ------------------------------------------------------------------
+    # Data-RAM helpers
+    # ------------------------------------------------------------------
+
+    def _line_slot(self, index: int) -> int:
+        return index * self.geometry.line_bytes
+
+    def _read_line(self, way: int, index: int) -> bytes:
+        raw = self.data_rams[way].read_bytes(
+            self._line_slot(index), self.geometry.line_bytes
+        )
+        if self._interleave is None:
+            return raw
+        bits = np.unpackbits(
+            np.frombuffer(raw, dtype=np.uint8), bitorder="little"
+        )
+        restored = np.empty_like(bits)
+        restored[: len(self._interleave)] = bits[self._interleave]
+        return np.packbits(restored, bitorder="little").tobytes()
+
+    def _write_line(self, way: int, index: int, data: bytes) -> None:
+        if self._interleave is not None:
+            bits = np.unpackbits(
+                np.frombuffer(data, dtype=np.uint8), bitorder="little"
+            )
+            data = np.packbits(
+                bits[np.argsort(self._interleave)], bitorder="little"
+            ).tobytes()
+        self.data_rams[way].write_bytes(self._line_slot(index), data)
+
+    # ------------------------------------------------------------------
+    # Architectural operations
+    # ------------------------------------------------------------------
+
+    def read(self, addr: int, size: int, ns: bool = True) -> bytes:
+        """Read ``size`` bytes at ``addr`` through the cache."""
+        return self._access(addr, size, None, ns)
+
+    def write(self, addr: int, data: bytes, ns: bool = True) -> None:
+        """Write ``data`` at ``addr`` through the cache (write-allocate)."""
+        self._access(addr, len(data), bytes(data), ns)
+
+    def read_block(self, addr: int, size: int) -> bytes:
+        """BackingStore port: lets this cache back a smaller cache."""
+        return self.read(addr, size)
+
+    def write_block(self, addr: int, data: bytes) -> None:
+        """BackingStore port: lets this cache back a smaller cache."""
+        self.write(addr, data)
+
+    def _access(
+        self, addr: int, size: int, data: bytes | None, ns: bool
+    ) -> bytes:
+        if size <= 0:
+            raise MemoryMapError("access size must be positive")
+        if not self.enabled:
+            if data is None:
+                return self.backing.read_block(addr, size)
+            self.backing.write_block(addr, data)
+            return data
+        out = bytearray()
+        cursor = addr
+        remaining = size
+        pos = 0
+        while remaining > 0:
+            tag, index, offset = self.geometry.split(cursor)
+            chunk = min(remaining, self.geometry.line_bytes - offset)
+            way = self._lookup(tag, index)
+            if way is None:
+                way = self._fill(cursor, tag, index, ns)
+                self.misses += 1
+            else:
+                self.hits += 1
+            self._touch(index, way)
+            line = bytearray(self._read_line(way, index))
+            if data is None:
+                out += line[offset : offset + chunk]
+            else:
+                line[offset : offset + chunk] = data[pos : pos + chunk]
+                self._write_line(way, index, bytes(line))
+                self.tags.set_flags(self._entry(index, way), dirty=True)
+            cursor += chunk
+            pos += chunk
+            remaining -= chunk
+        return bytes(out) if data is None else data
+
+    def _fill(self, addr: int, tag: int, index: int, ns: bool) -> int:
+        way = self._choose_victim(index)
+        entry = self._entry(index, way)
+        old_tag, valid, dirty, _old_ns = self.tags.read(entry)
+        if valid and dirty:
+            victim_addr = self._reconstruct_addr(old_tag, index)
+            self.backing.write_block(victim_addr, self._read_line(way, index))
+            self.evictions += 1
+        elif valid:
+            self.evictions += 1
+        line_addr = self.geometry.line_base(addr)
+        self._write_line(way, index, self.backing.read_block(
+            line_addr, self.geometry.line_bytes
+        ))
+        self.tags.write(entry, tag, valid=True, dirty=False, ns=ns)
+        return way
+
+    def _reconstruct_addr(self, tag: int, index: int) -> int:
+        g = self.geometry
+        return (tag << (g.offset_bits + g.index_bits)) | (index << g.offset_bits)
+
+    # ------------------------------------------------------------------
+    # Maintenance operations (the ISA-visible ones the paper discusses)
+    # ------------------------------------------------------------------
+
+    def clean_invalidate_all(self) -> None:
+        """Write back dirty lines and drop all valid bits.
+
+        Crucially, the data RAM contents are *left in place* — this is
+        the paper's §5.2.4 observation that clean/invalidate does not
+        destroy data.
+        """
+        for index in range(self.geometry.sets):
+            for way in range(self.geometry.ways):
+                entry = self._entry(index, way)
+                tag, valid, dirty, _ns = self.tags.read(entry)
+                if valid and dirty:
+                    self.backing.write_block(
+                        self._reconstruct_addr(tag, index),
+                        self._read_line(way, index),
+                    )
+                self.tags.clear_valid(entry)
+
+    def clean_invalidate_line(self, addr: int) -> bool:
+        """Clean+invalidate the line containing ``addr`` (DMA maintenance).
+
+        Non-coherent DMA forces kernels to clean/invalidate buffer lines
+        by VA before device access; like the bulk variant, it leaves the
+        data RAM contents in place.  Returns True when a line matched.
+        """
+        tag, index, _ = self.geometry.split(addr)
+        way = self._lookup(tag, index)
+        if way is None:
+            return False
+        entry = self._entry(index, way)
+        _tag, _valid, dirty, _ns = self.tags.read(entry)
+        if dirty:
+            self.backing.write_block(
+                self._reconstruct_addr(tag, index), self._read_line(way, index)
+            )
+        self.tags.clear_valid(entry)
+        return True
+
+    def invalidate_all(self) -> None:
+        """Drop all valid bits without writing anything back."""
+        for index in range(self.geometry.sets):
+            for way in range(self.geometry.ways):
+                self.tags.clear_valid(self._entry(index, way))
+
+    def zero_line(self, addr: int, ns: bool = True) -> None:
+        """``DC ZVA``: allocate the line containing ``addr`` and zero it.
+
+        The only architectural way to actually erase L1 data RAM
+        (paper §5.2.4); available for data caches only.
+        """
+        if not self.enabled:
+            raise CircuitError(f"{self.name}: DC ZVA needs the cache enabled")
+        tag, index, _ = self.geometry.split(addr)
+        way = self._lookup(tag, index)
+        if way is None:
+            way = self._choose_victim(index)
+            entry = self._entry(index, way)
+            old_tag, valid, dirty, _ns = self.tags.read(entry)
+            if valid and dirty:
+                self.backing.write_block(
+                    self._reconstruct_addr(old_tag, index),
+                    self._read_line(way, index),
+                )
+            self.tags.write(entry, tag, valid=True, dirty=True, ns=ns)
+        else:
+            self.tags.set_flags(self._entry(index, way), dirty=True)
+        self._write_line(way, index, bytes(self.geometry.line_bytes))
+        self._touch(index, way)
+
+    def zero_all_lines(self, base_addr: int = 0) -> None:
+        """Zero the entire data RAM with a DC ZVA sweep.
+
+        Sweeps ``ways * sets`` distinct lines whose indices cover every
+        set in every way — the software mitigation loop from §8.
+        """
+        g = self.geometry
+        for way_pass in range(g.ways):
+            for index in range(g.sets):
+                addr = (
+                    base_addr
+                    + way_pass * g.way_bytes * 2  # distinct tags per pass
+                    + index * g.line_bytes
+                )
+                self.zero_line(addr)
+
+    # ------------------------------------------------------------------
+    # Raw access (debug interface path)
+    # ------------------------------------------------------------------
+
+    def raw_way_image(self, way: int) -> bytes:
+        """Dump one way's data RAM, valid bits be damned.
+
+        This is what CP15 RAMINDEX returns; access control lives in
+        :mod:`repro.soc.cp15`, not here.
+        """
+        if not 0 <= way < self.geometry.ways:
+            raise MemoryMapError(f"{self.name}: no way {way}")
+        return self.data_rams[way].read_bytes()
+
+    def raw_tag_entry(self, index: int, way: int) -> tuple[int, bool, bool, bool]:
+        """Dump one raw tag entry (tag, valid, dirty, ns)."""
+        return self.tags.read(self._entry(index, way))
+
+    def line_security(self, index: int, way: int) -> bool:
+        """Whether a line is marked secure (NS bit clear)."""
+        _tag, _valid, _dirty, ns = self.tags.read(self._entry(index, way))
+        return not ns

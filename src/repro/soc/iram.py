@@ -1,0 +1,62 @@
+"""On-chip iRAM (OCRAM) — directly addressable internal SRAM.
+
+Multimedia and microcontroller-class SoCs carry tens to hundreds of
+kilobytes of internal RAM used for boot firmware scratch space, DMA
+buffers, and — in schemes like Sentry — as cold-boot-safe working memory.
+The i.MX53's 128 KB iRAM lives in the L1 memory power domain (rail
+VDDAL1), *separate from the CPU core rail* (VCCGP), which is exactly what
+lets the paper hold it alive while the core reboots (§7.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MemoryMapError
+from ..circuits.sram import SramArray, SramParameters
+
+
+class Iram:
+    """Memory-mapped internal SRAM."""
+
+    def __init__(
+        self,
+        name: str,
+        base_addr: int,
+        size_bytes: int,
+        sram_params: SramParameters,
+        rng: np.random.Generator,
+    ) -> None:
+        self.name = name
+        self.base_addr = base_addr
+        self.size_bytes = size_bytes
+        self.sram = SramArray(size_bytes * 8, sram_params, rng, name=f"{name}.sram")
+
+    @property
+    def end_addr(self) -> int:
+        """One past the last mapped address."""
+        return self.base_addr + self.size_bytes
+
+    def contains(self, addr: int) -> bool:
+        """Whether ``addr`` falls inside the iRAM window."""
+        return self.base_addr <= addr < self.end_addr
+
+    def _offset(self, addr: int, size: int) -> int:
+        if not (self.contains(addr) and addr + size <= self.end_addr):
+            raise MemoryMapError(
+                f"{self.name}: [{addr:#x}, {addr + size:#x}) outside "
+                f"[{self.base_addr:#x}, {self.end_addr:#x})"
+            )
+        return addr - self.base_addr
+
+    def read_block(self, addr: int, size: int) -> bytes:
+        """Read ``size`` bytes at absolute address ``addr``."""
+        return self.sram.read_bytes(self._offset(addr, size), size)
+
+    def write_block(self, addr: int, data: bytes) -> None:
+        """Write ``data`` at absolute address ``addr``."""
+        self.sram.write_bytes(self._offset(addr, len(data)), data)
+
+    def image(self) -> bytes:
+        """Full iRAM contents."""
+        return self.sram.read_bytes()

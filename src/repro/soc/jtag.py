@@ -1,0 +1,43 @@
+"""JTAG debug probe access.
+
+The i.MX53 boots from internal ROM with no external firmware, so the
+paper extracts its iRAM directly over JTAG (§6.1 step 3, §7.3).  The
+model exposes block reads/writes over the SoC's physical memory map,
+gated on the debug port not being fused off.
+"""
+
+from __future__ import annotations
+
+from ..errors import AccessViolation
+from .memory_map import MemoryMap
+
+
+class JtagProbe:
+    """A debug adapter wired to the SoC's DAP."""
+
+    def __init__(self, memory_map: MemoryMap, enabled: bool = True) -> None:
+        self._map = memory_map
+        self._enabled = enabled
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the debug port is usable (not fused off)."""
+        return self._enabled
+
+    def fuse_off(self) -> None:
+        """Permanently disable the debug port (OEM production fuse)."""
+        self._enabled = False
+
+    def _check(self) -> None:
+        if not self._enabled:
+            raise AccessViolation("JTAG port is fused off")
+
+    def read_block(self, addr: int, size: int) -> bytes:
+        """Read ``size`` bytes of physical memory through the DAP."""
+        self._check()
+        return self._map.read_block(addr, size)
+
+    def write_block(self, addr: int, data: bytes) -> None:
+        """Write physical memory through the DAP."""
+        self._check()
+        self._map.write_block(addr, data)

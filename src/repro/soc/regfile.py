@@ -1,0 +1,97 @@
+"""SRAM-backed CPU register files.
+
+Paper §7.2 attacks the 128-bit NEON/FP vector registers ``v0..v31``,
+which TRESOR-style schemes use as key storage precisely because they sit
+on-chip.  Register files are small SRAM macros inside the core power
+domain, so a probe on VDD_CORE rides them through a power cycle just like
+the L1 arrays.
+
+Two register files are modelled: the general-purpose file (``x0..x30``)
+and the vector file (``v0..v31``).  Both are backed by
+:class:`~repro.circuits.sram.SramArray` so the power layer treats them as
+ordinary volatile loads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CpuFault
+from ..circuits.sram import SramArray, SramParameters
+
+
+class RegisterFile:
+    """A bank of fixed-width registers stored in an SRAM macro."""
+
+    def __init__(
+        self,
+        name: str,
+        count: int,
+        width_bits: int,
+        sram_params: SramParameters,
+        rng: np.random.Generator,
+    ) -> None:
+        if width_bits % 8:
+            raise CpuFault("register width must be a whole number of bytes")
+        self.name = name
+        self.count = count
+        self.width_bits = width_bits
+        self.width_bytes = width_bits // 8
+        self.sram = SramArray(
+            count * width_bits, sram_params, rng, name=f"{name}.sram"
+        )
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.count:
+            raise CpuFault(f"{self.name}: no register {index}")
+
+    def read(self, index: int) -> int:
+        """Read a register as an unsigned integer."""
+        self._check_index(index)
+        raw = self.sram.read_bytes(index * self.width_bytes, self.width_bytes)
+        return int.from_bytes(raw, "little")
+
+    def write(self, index: int, value: int) -> None:
+        """Write an unsigned integer, truncated to the register width."""
+        self._check_index(index)
+        value &= (1 << self.width_bits) - 1
+        self.sram.write_bytes(
+            index * self.width_bytes, value.to_bytes(self.width_bytes, "little")
+        )
+
+    def read_bytes(self, index: int) -> bytes:
+        """Read a register as little-endian bytes."""
+        self._check_index(index)
+        return self.sram.read_bytes(index * self.width_bytes, self.width_bytes)
+
+    def write_bytes(self, index: int, data: bytes) -> None:
+        """Write a register from little-endian bytes (must be exact width)."""
+        self._check_index(index)
+        if len(data) != self.width_bytes:
+            raise CpuFault(
+                f"{self.name}: register is {self.width_bytes} bytes, "
+                f"got {len(data)}"
+            )
+        self.sram.write_bytes(index * self.width_bytes, data)
+
+    def dump(self) -> list[int]:
+        """All register values, in index order."""
+        return [self.read(i) for i in range(self.count)]
+
+    def image(self) -> bytes:
+        """The raw register-file SRAM image."""
+        return self.sram.read_bytes()
+
+
+def general_purpose_file(
+    sram_params: SramParameters, rng: np.random.Generator, name: str = "gpr"
+) -> RegisterFile:
+    """Build the aarch64 general-purpose file: x0..x30, 64-bit."""
+    return RegisterFile(name, count=31, width_bits=64, sram_params=sram_params, rng=rng)
+
+
+def vector_file(
+    sram_params: SramParameters, rng: np.random.Generator, name: str = "vreg"
+) -> RegisterFile:
+    """Build the NEON/FP vector file: v0..v31, 128-bit."""
+    return RegisterFile(name, count=32, width_bits=128, sram_params=sram_params, rng=rng)

@@ -1,0 +1,73 @@
+"""DRAM bus scrambling — the deployed cold boot mitigation (paper §9.1).
+
+Since Intel's 6th generation, memory controllers scramble data on its
+way to DRAM with a keystream derived from a per-boot session seed
+(paper refs [29], [43]): the array stores ciphertext, so a cold-booted
+module read in another machine (or after a reboot that rolls the seed)
+yields garbage.  The model wraps any memory port with an XOR keystream
+whose seed changes on every ``reseed`` (called from the boot flow).
+
+This is what pushes attackers toward the *unscrambled* on-chip SRAM —
+the paper's §5.2.2 attack enabler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MemoryMapError
+from .memory_map import MemoryPort
+
+#: Keystream block size.  Real scramblers work per burst; any fixed
+#: block that lets us regenerate the stream from (seed, address) works.
+KEYSTREAM_BLOCK = 64
+
+
+class ScrambledMemory:
+    """A memory port that XOR-scrambles data with a per-boot keystream."""
+
+    def __init__(self, inner: MemoryPort, session_seed: int) -> None:
+        self.inner = inner
+        self._session_seed = int(session_seed)
+
+    @property
+    def session_seed(self) -> int:
+        """The current scrambler session seed."""
+        return self._session_seed
+
+    def reseed(self, session_seed: int) -> None:
+        """Roll the session key (happens at every boot)."""
+        self._session_seed = int(session_seed)
+
+    def _keystream(self, addr: int, size: int) -> np.ndarray:
+        first_block = addr // KEYSTREAM_BLOCK
+        last_block = (addr + size - 1) // KEYSTREAM_BLOCK
+        chunks = []
+        for block in range(first_block, last_block + 1):
+            rng = np.random.default_rng((self._session_seed, block))
+            chunks.append(rng.integers(0, 256, KEYSTREAM_BLOCK, dtype=np.uint8))
+        stream = np.concatenate(chunks)
+        start = addr - first_block * KEYSTREAM_BLOCK
+        return stream[start : start + size]
+
+    def read_block(self, addr: int, size: int) -> bytes:
+        """Read and descramble with the *current* session key.
+
+        If the stored data was scrambled under an older session (i.e. it
+        survived a power cycle while the seed rolled), the result is
+        uniformly garbage — which is the point.
+        """
+        if size <= 0:
+            raise MemoryMapError("read size must be positive")
+        raw = np.frombuffer(self.inner.read_block(addr, size), dtype=np.uint8)
+        return (raw ^ self._keystream(addr, size)).tobytes()
+
+    def write_block(self, addr: int, data: bytes) -> None:
+        """Scramble with the current session key and store."""
+        raw = np.frombuffer(bytes(data), dtype=np.uint8)
+        scrambled = raw ^ self._keystream(addr, len(raw))
+        self.inner.write_block(addr, scrambled.tobytes())
+
+    def raw_array_read(self, addr: int, size: int) -> bytes:
+        """What a chip-off / bus-probing attacker sees: the ciphertext."""
+        return self.inner.read_block(addr, size)

@@ -1,0 +1,42 @@
+"""VideoCore co-processor boot behaviour.
+
+The Broadcom SoCs in Raspberry Pis boot through a VideoCore GPU that runs
+its own pre-compiled firmware *before* releasing the ARM cluster.  That
+firmware's working set streams through the shared L2 cache and clobbers
+it completely, which is why the paper reports the Pi's L2 is unavailable
+to a post-reboot attacker while the (software-enabled, untouched) L1s are
+fully recoverable (§6.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cache import SetAssociativeCache
+
+
+class VideoCore:
+    """The GPU/boot co-processor of a Broadcom SoC."""
+
+    def __init__(self, shared_l2: SetAssociativeCache, rng_seed: int) -> None:
+        self._l2 = shared_l2
+        self._rng_seed = int(rng_seed)
+        self.boot_count = 0
+
+    def run_boot_firmware(self) -> int:
+        """Stream the firmware working set through the shared L2.
+
+        Overwrites every data-RAM byte of the L2 with firmware working
+        data and invalidates the tags, exactly as the real boot does from
+        the ARM cores' point of view.  Returns bytes clobbered.
+        """
+        rng = np.random.default_rng((self._rng_seed, self.boot_count))
+        clobbered = 0
+        for way, data_ram in enumerate(self._l2.data_rams):
+            junk = rng.integers(0, 256, data_ram.n_bytes, dtype=np.uint8)
+            data_ram.write_bytes(0, junk.tobytes())
+            clobbered += data_ram.n_bytes
+        self._l2.invalidate_all()
+        self._l2.reset_architectural_state()
+        self.boot_count += 1
+        return clobbered

@@ -1,0 +1,103 @@
+"""Physical units and conversions used across the simulation.
+
+The library stores quantities in SI base units: volts, amperes, seconds,
+farads, ohms, kelvins.  This module provides the small set of helpers and
+constants used to build and check those quantities, plus human-readable
+formatting for reports.
+
+All converters are trivially invertible; they exist to make call sites
+self-documenting (``milliseconds(20)`` rather than a bare ``0.02``).
+"""
+
+from __future__ import annotations
+
+from .errors import CalibrationError
+
+#: Absolute zero in degrees Celsius.
+ABSOLUTE_ZERO_CELSIUS = -273.15
+
+#: Boltzmann constant (J/K); used by leakage models.
+BOLTZMANN = 1.380649e-23
+
+#: Conventional room temperature (kelvin).
+ROOM_TEMPERATURE_K = 298.15
+
+
+def celsius_to_kelvin(celsius: float) -> float:
+    """Convert a Celsius temperature to kelvin, rejecting sub-0 K values."""
+    kelvin = celsius - ABSOLUTE_ZERO_CELSIUS
+    if kelvin <= 0.0:
+        raise CalibrationError(
+            f"temperature {celsius} degC is at or below absolute zero"
+        )
+    return kelvin
+
+
+def kelvin_to_celsius(kelvin: float) -> float:
+    """Convert kelvin to Celsius (must be a positive absolute temperature)."""
+    if kelvin <= 0.0:
+        raise CalibrationError(f"absolute temperature must be > 0 K, got {kelvin}")
+    return kelvin + ABSOLUTE_ZERO_CELSIUS
+
+
+def milliseconds(value: float) -> float:
+    """Express ``value`` milliseconds in seconds."""
+    return value * 1e-3
+
+
+def microseconds(value: float) -> float:
+    """Express ``value`` microseconds in seconds."""
+    return value * 1e-6
+
+
+def millivolts(value: float) -> float:
+    """Express ``value`` millivolts in volts."""
+    return value * 1e-3
+
+
+def milliamps(value: float) -> float:
+    """Express ``value`` milliamperes in amperes."""
+    return value * 1e-3
+
+
+def microfarads(value: float) -> float:
+    """Express ``value`` microfarads in farads."""
+    return value * 1e-6
+
+
+def nanofarads(value: float) -> float:
+    """Express ``value`` nanofarads in farads."""
+    return value * 1e-9
+
+
+def kib(value: float) -> int:
+    """Express ``value`` kibibytes in bytes."""
+    return int(value * 1024)
+
+
+def format_voltage(volts: float) -> str:
+    """Render a voltage the way board schematics do (``0.8V``, ``800mV``)."""
+    if abs(volts) >= 1.0:
+        return f"{volts:g}V"
+    return f"{volts * 1e3:g}mV"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration with an auto-selected unit (s / ms / us / ns)."""
+    magnitude = abs(seconds)
+    if magnitude >= 1.0:
+        return f"{seconds:g}s"
+    if magnitude >= 1e-3:
+        return f"{seconds * 1e3:g}ms"
+    if magnitude >= 1e-6:
+        return f"{seconds * 1e6:g}us"
+    return f"{seconds * 1e9:g}ns"
+
+
+def format_bytes(count: int) -> str:
+    """Render a byte count using binary units (B / KiB / MiB)."""
+    if count >= 1024 * 1024 and count % (1024 * 1024) == 0:
+        return f"{count // (1024 * 1024)}MiB"
+    if count >= 1024 and count % 1024 == 0:
+        return f"{count // 1024}KiB"
+    return f"{count}B"

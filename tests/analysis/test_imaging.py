@@ -1,0 +1,80 @@
+"""Bit-image rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.imaging import (
+    ascii_bit_image,
+    bit_matrix,
+    ones_fraction,
+    write_pgm,
+)
+from repro.errors import ReproError
+
+
+class TestBitMatrix:
+    def test_shape(self):
+        matrix = bit_matrix(bytes(64), width=64)
+        assert matrix.shape == (8, 64)
+
+    def test_trailing_bits_dropped(self):
+        matrix = bit_matrix(bytes(10), width=64)
+        assert matrix.shape == (1, 64)
+
+    def test_too_small_image_rejected(self):
+        with pytest.raises(ReproError):
+            bit_matrix(b"\x00", width=64)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ReproError):
+            bit_matrix(bytes(8), width=0)
+
+    def test_values_match_bits(self):
+        matrix = bit_matrix(b"\x01\x00", width=8)
+        assert matrix[0].tolist() == [1, 0, 0, 0, 0, 0, 0, 0]
+
+
+class TestOnesFraction:
+    def test_all_zero(self):
+        assert ones_fraction(bytes(16)) == 0.0
+
+    def test_all_one(self):
+        assert ones_fraction(b"\xff" * 16) == 1.0
+
+    def test_half(self):
+        assert ones_fraction(b"\x0f" * 16) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            ones_fraction(b"")
+
+
+class TestAsciiArt:
+    def test_plain_rendering(self):
+        art = ascii_bit_image(b"\xff" * 8 + b"\x00" * 8, width=64, max_rows=2)
+        lines = art.splitlines()
+        assert lines[0] == "#" * 64
+        assert lines[1] == "." * 64
+
+    def test_downsampled_rendering_uses_shades(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 256, 1024, dtype=np.uint8).tobytes()
+        art = ascii_bit_image(data, width=128, downsample=8, max_rows=4)
+        assert set(art) <= set(" .:*#\n")
+
+    def test_max_rows_respected(self):
+        art = ascii_bit_image(bytes(1024), width=64, max_rows=3)
+        assert len(art.splitlines()) == 3
+
+
+class TestPgm:
+    def test_writes_valid_header_and_size(self, tmp_path):
+        path = write_pgm(b"\x0f" * 64, width=64, path=tmp_path / "img.pgm")
+        raw = path.read_bytes()
+        assert raw.startswith(b"P5\n64 8\n255\n")
+        assert len(raw) == len(b"P5\n64 8\n255\n") + 64 * 8
+
+    def test_ones_render_black(self, tmp_path):
+        path = write_pgm(b"\xff" * 8, width=64, path=tmp_path / "b.pgm")
+        pixels = path.read_bytes().split(b"\n", 3)[3]
+        assert set(pixels) == {0}

@@ -1,0 +1,117 @@
+"""Error-correcting AES key reconstruction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.keycorrect import (
+    SCHEDULE_BYTES,
+    reconstruct_aes128_key,
+    reconstruct_with_decay_model,
+)
+from repro.crypto.aes import schedule_bytes
+from repro.errors import ReproError
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+
+def flip_bits(data: bytes, bits) -> bytes:
+    out = bytearray(data)
+    for bit in bits:
+        out[bit // 8] ^= 1 << (bit % 8)
+    return bytes(out)
+
+
+def decayed_window(seed: int, fraction: float) -> tuple[bytes, bytes]:
+    """A schedule decayed toward a random per-cell ground state."""
+    rng = np.random.default_rng(seed)
+    schedule = schedule_bytes(KEY)
+    ground = rng.integers(0, 2, SCHEDULE_BYTES * 8, dtype=np.uint8)
+    bits = np.unpackbits(
+        np.frombuffer(schedule, dtype=np.uint8), bitorder="little"
+    )
+    decayable = np.flatnonzero(bits != ground)
+    chosen = rng.choice(
+        decayable, int(fraction * decayable.size), replace=False
+    )
+    decayed = bits.copy()
+    decayed[chosen] = ground[chosen]
+    return (
+        np.packbits(decayed, bitorder="little").tobytes(),
+        np.packbits(ground, bitorder="little").tobytes(),
+    )
+
+
+class TestUnbiasedReconstruction:
+    def test_clean_window(self):
+        assert reconstruct_aes128_key(schedule_bytes(KEY)) == KEY
+
+    def test_errors_outside_key(self):
+        rng = np.random.default_rng(1)
+        window = flip_bits(
+            schedule_bytes(KEY),
+            rng.choice(np.arange(128, SCHEDULE_BYTES * 8), 12, replace=False),
+        )
+        assert reconstruct_aes128_key(window) == KEY
+
+    def test_errors_inside_key(self):
+        rng = np.random.default_rng(2)
+        window = flip_bits(
+            schedule_bytes(KEY),
+            list(rng.choice(128, 4, replace=False))
+            + list(
+                rng.choice(np.arange(128, SCHEDULE_BYTES * 8), 6, replace=False)
+            ),
+        )
+        assert reconstruct_aes128_key(window) == KEY
+
+    def test_random_data_rejected(self):
+        rng = np.random.default_rng(3)
+        noise = rng.integers(0, 256, SCHEDULE_BYTES, dtype=np.uint8).tobytes()
+        assert reconstruct_aes128_key(noise) is None
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ReproError):
+            reconstruct_aes128_key(b"short")
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=8, deadline=None)
+    def test_one_percent_errors_always_recovered(self, seed):
+        rng = np.random.default_rng(seed)
+        window = flip_bits(
+            schedule_bytes(KEY),
+            rng.choice(SCHEDULE_BYTES * 8, 14, replace=False),
+        )
+        assert reconstruct_aes128_key(window) == KEY
+
+
+class TestDecayReconstruction:
+    def test_clean_window(self):
+        window, ground = decayed_window(seed=4, fraction=0.0)
+        assert reconstruct_with_decay_model(window, ground) == KEY
+
+    def test_light_decay_recovered(self):
+        window, ground = decayed_window(seed=5, fraction=0.10)
+        assert reconstruct_with_decay_model(window, ground) == KEY
+
+    def test_moderate_decay_recovered(self):
+        window, ground = decayed_window(seed=6, fraction=0.15)
+        assert reconstruct_with_decay_model(window, ground) == KEY
+
+    def test_heavy_decay_fails_honestly(self):
+        """Beyond the peeling threshold the decoder declines rather
+        than returning a wrong key."""
+        window, ground = decayed_window(seed=7, fraction=0.6)
+        result = reconstruct_with_decay_model(window, ground)
+        assert result is None or result == KEY
+
+    def test_never_returns_a_wrong_key(self):
+        for fraction in (0.05, 0.2, 0.35, 0.5):
+            window, ground = decayed_window(seed=8, fraction=fraction)
+            result = reconstruct_with_decay_model(window, ground)
+            assert result is None or result == KEY
+
+    def test_length_validation(self):
+        with pytest.raises(ReproError):
+            reconstruct_with_decay_model(b"x" * 10, b"y" * 10)

@@ -1,0 +1,137 @@
+"""Imprinting attack and DRV fingerprinting."""
+
+import numpy as np
+import pytest
+
+from repro.applications.drv_fingerprint import (
+    DEFAULT_SWEEP_V,
+    identify_chip,
+    measure_drv_fingerprint,
+)
+from repro.applications.imprinting import (
+    ImprintingAttack,
+    imprint_recovery_accuracy,
+)
+from repro.circuits.sram import SramArray
+from repro.errors import ReproError
+
+
+def powered_array(seed, n_bits=8 * 1024):
+    array = SramArray(n_bits, rng=np.random.default_rng(seed))
+    array.power_up()
+    return array
+
+
+class TestAgingModel:
+    def test_aging_requires_power(self):
+        array = SramArray(64)
+        from repro.errors import CircuitError
+
+        with pytest.raises(CircuitError):
+            array.age(1.0)
+
+    def test_invalid_parameters_rejected(self):
+        array = powered_array(1)
+        from repro.errors import CalibrationError
+
+        with pytest.raises(CalibrationError):
+            array.age(-1.0)
+        with pytest.raises(CalibrationError):
+            array.age(1.0, duty_cycle=2.0)
+
+    def test_aging_shifts_wake_probabilities_toward_data(self):
+        array = powered_array(2, n_bits=8 * 512)
+        array.fill_bytes(0xFF)  # hold all-ones
+        before = array.wake_probabilities().mean()
+        array.age(10.0)
+        after = array.wake_probabilities().mean()
+        assert after > before
+
+    def test_zero_years_is_identity(self):
+        array = powered_array(3)
+        before = array.wake_probabilities()
+        array.age(0.0)
+        assert (array.wake_probabilities() == before).all()
+
+
+class TestImprintingAttack:
+    def test_fresh_array_yields_chance(self):
+        result = imprint_recovery_accuracy(seed=10, years=0.0, samples=15)
+        assert 0.45 < result.accuracy_overall < 0.55
+
+    def test_decade_gives_modest_recovery(self):
+        """The paper's §9.2 framing: a decade for modest recovery."""
+        result = imprint_recovery_accuracy(seed=10, years=10.0, samples=25)
+        assert 0.55 < result.accuracy_overall < 0.75
+
+    def test_extreme_aging_gives_strong_recovery(self):
+        result = imprint_recovery_accuracy(seed=10, years=30.0, samples=25)
+        assert result.accuracy_overall > 0.85
+
+    def test_accuracy_monotone_in_years(self):
+        accuracies = [
+            imprint_recovery_accuracy(seed=11, years=y, samples=15).accuracy_overall
+            for y in (0.0, 5.0, 15.0, 30.0)
+        ]
+        assert accuracies == sorted(accuracies)
+
+    def test_parameter_validation(self):
+        array = powered_array(12)
+        with pytest.raises(ReproError):
+            ImprintingAttack(array, samples=1)
+        with pytest.raises(ReproError):
+            ImprintingAttack(array, confidence_margin=0.9)
+
+    def test_reference_length_checked(self):
+        array = powered_array(13)
+        attack = ImprintingAttack(array, samples=3)
+        with pytest.raises(ReproError):
+            attack.run(np.zeros(8, dtype=np.uint8), years_aged=1.0)
+
+
+class TestDrvFingerprint:
+    def test_measurement_shape(self):
+        fingerprint = measure_drv_fingerprint(
+            powered_array(20), "chip-a", window_bits=2048
+        )
+        assert fingerprint.collapse_level.size == 2048
+        assert fingerprint.sweep_voltages == DEFAULT_SWEEP_V
+
+    def test_same_chip_measures_consistently(self):
+        array = powered_array(21)
+        first = measure_drv_fingerprint(array, "a", window_bits=2048)
+        second = measure_drv_fingerprint(array, "a-again", window_bits=2048)
+        assert first.distance(second) < 0.5
+
+    def test_different_chips_measure_differently(self):
+        a = measure_drv_fingerprint(powered_array(22), "a", window_bits=2048)
+        b = measure_drv_fingerprint(powered_array(23), "b", window_bits=2048)
+        assert a.distance(b) > 1.0
+
+    def test_identification_among_population(self):
+        chips = [powered_array(30 + i) for i in range(5)]
+        enrolled = [
+            measure_drv_fingerprint(chip, f"chip{i}", window_bits=2048)
+            for i, chip in enumerate(chips)
+        ]
+        probe = measure_drv_fingerprint(chips[3], "probe", window_bits=2048)
+        label, margin = identify_chip(probe, enrolled)
+        assert label == "chip3"
+        assert margin > 0.5
+
+    def test_empty_enrollment_rejected(self):
+        probe = measure_drv_fingerprint(powered_array(40), "p", window_bits=512)
+        with pytest.raises(ReproError):
+            identify_chip(probe, [])
+
+    def test_ascending_sweep_rejected(self):
+        with pytest.raises(ReproError):
+            measure_drv_fingerprint(
+                powered_array(41), "x", sweep_voltages=(0.1, 0.2, 0.3)
+            )
+
+    def test_size_mismatch_rejected(self):
+        a = measure_drv_fingerprint(powered_array(42), "a", window_bits=512)
+        b = measure_drv_fingerprint(powered_array(43), "b", window_bits=1024)
+        with pytest.raises(ReproError):
+            a.distance(b)

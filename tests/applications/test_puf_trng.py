@@ -1,0 +1,111 @@
+"""SRAM PUF and power-up TRNG behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.applications.puf import SramPuf
+from repro.applications.trng import PowerUpTrng
+from repro.circuits.sram import SramArray
+from repro.errors import ReproError
+
+
+def powered_array(seed=11, n_bits=8 * 2048):
+    array = SramArray(n_bits, rng=np.random.default_rng(seed))
+    array.power_up()
+    return array
+
+
+class TestPufEnrollment:
+    def test_enroll_then_authenticate(self):
+        puf = SramPuf(powered_array(), length_bits=2048)
+        puf.enroll()
+        accepted, distance = puf.authenticate()
+        assert accepted
+        assert distance < 0.15  # only the noisy cells flip
+
+    def test_unenrolled_rejected(self):
+        puf = SramPuf(powered_array(), length_bits=512)
+        with pytest.raises(ReproError):
+            puf.authenticate()
+        with pytest.raises(ReproError):
+            puf.reference
+
+    def test_imposter_chip_rejected(self):
+        genuine = SramPuf(powered_array(seed=1), length_bits=2048)
+        genuine.enroll()
+        imposter = SramPuf(powered_array(seed=2), length_bits=2048)
+        accepted, distance = genuine.authenticate(imposter.read_response())
+        assert not accepted
+        assert 0.4 < distance < 0.6  # unrelated fingerprints
+
+    def test_even_vote_count_rejected(self):
+        puf = SramPuf(powered_array(), length_bits=512)
+        with pytest.raises(ReproError):
+            puf.enroll(votes=4)
+
+    def test_window_bounds_checked(self):
+        with pytest.raises(ReproError):
+            SramPuf(powered_array(n_bits=512), length_bits=1024)
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ReproError):
+            SramPuf(powered_array(), length_bits=512, auth_threshold=0.7)
+
+
+class TestPufCloning:
+    def test_volt_boot_dump_clones_the_puf(self):
+        """The §5.2.4 implication: a dumped response replays perfectly."""
+        puf = SramPuf(powered_array(seed=3), length_bits=2048)
+        puf.enroll()
+        # Volt Boot holds the rail: the fingerprint is readable as data.
+        stolen = puf.read_response(fresh_power_up=False)
+        clone = puf.clone_from_dump(stolen)
+        accepted, distance = puf.authenticate(clone.read_response())
+        assert accepted
+        # The clone replays whatever it stole; only enrollment noise
+        # separates it from the golden response.
+        assert distance < 0.15
+
+    def test_stale_readout_requires_power(self):
+        puf = SramPuf(powered_array(seed=4), length_bits=512)
+        puf.array.power_down()
+        with pytest.raises(ReproError):
+            puf.read_response(fresh_power_up=False)
+
+
+class TestTrng:
+    def test_calibration_finds_noisy_population(self):
+        trng = PowerUpTrng(powered_array(seed=5, n_bits=8 * 4096))
+        noisy = trng.calibrate()
+        # ~20% of cells are metastable by construction.
+        assert 0.10 * 8 * 4096 < noisy < 0.30 * 8 * 4096
+
+    def test_uncalibrated_rejected(self):
+        trng = PowerUpTrng(powered_array(seed=6))
+        with pytest.raises(ReproError):
+            trng.raw_noise_bits()
+
+    def test_von_neumann_removes_bias(self):
+        biased = np.array([1, 1, 1, 0, 0, 1, 1, 0] * 100, dtype=np.uint8)
+        whitened = PowerUpTrng.von_neumann(biased)
+        assert whitened.size > 0
+        assert 0.3 < whitened.mean() < 0.7
+
+    def test_random_bytes_look_uniform(self):
+        trng = PowerUpTrng(powered_array(seed=7, n_bits=8 * 4096))
+        trng.calibrate()
+        data = trng.random_bytes(128)
+        assert len(data) == 128
+        bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+        assert 0.42 < bits.mean() < 0.58
+
+    def test_consecutive_outputs_differ(self):
+        trng = PowerUpTrng(powered_array(seed=8, n_bits=8 * 4096))
+        trng.calibrate()
+        assert trng.random_bytes(32) != trng.random_bytes(32)
+
+    def test_bad_byte_count_rejected(self):
+        trng = PowerUpTrng(powered_array(seed=9))
+        trng.calibrate()
+        with pytest.raises(ReproError):
+            trng.random_bytes(0)

@@ -1,0 +1,130 @@
+"""DRAM array physics: refresh, decay, anti-cells."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.dram import DramArray, DramParameters
+from repro.errors import CalibrationError, CircuitError
+from repro.units import celsius_to_kelvin
+
+
+def fresh_dram(n_bits=8 * 4096, seed=3, **params):
+    dram = DramArray(
+        n_bits, DramParameters(**params), np.random.default_rng(seed)
+    )
+    dram.restore_power()
+    return dram
+
+
+class TestConstruction:
+    def test_rejects_non_byte_multiple(self):
+        with pytest.raises(CalibrationError):
+            DramArray(10)
+
+    def test_rejects_bad_refresh(self):
+        with pytest.raises(CalibrationError):
+            DramParameters(refresh_interval_s=0.0)
+
+    def test_rejects_bad_anticell_fraction(self):
+        with pytest.raises(CalibrationError):
+            DramParameters(anticell_fraction=2.0)
+
+    def test_starts_unpowered(self):
+        assert not DramArray(64).powered
+
+
+class TestAccess:
+    def test_roundtrip(self):
+        dram = fresh_dram()
+        dram.write_bytes(10, b"secret key material")
+        assert dram.read_bytes(10, 19) == b"secret key material"
+
+    def test_read_requires_power(self):
+        dram = fresh_dram()
+        dram.power_down()
+        with pytest.raises(CircuitError):
+            dram.read_bytes(0, 1)
+
+    def test_write_requires_power(self):
+        dram = fresh_dram()
+        dram.power_down()
+        with pytest.raises(CircuitError):
+            dram.write_bytes(0, b"\x00")
+
+    def test_out_of_range_rejected(self):
+        dram = fresh_dram()
+        with pytest.raises(CircuitError):
+            dram.read_bytes(dram.n_bytes - 1, 2)
+
+
+class TestDecay:
+    def test_short_room_temperature_cut_retains(self):
+        """A just-refreshed DRAM outlives a 64 ms cut (paper §3)."""
+        dram = fresh_dram()
+        dram.write_bytes(0, b"\xab" * 64)
+        dram.power_down()
+        dram.elapse_unpowered(0.064, celsius_to_kelvin(25.0))
+        assert dram.restore_power() > 0.95
+        assert dram.read_bytes(0, 64) == b"\xab" * 64
+
+    def test_long_room_temperature_cut_decays(self):
+        dram = fresh_dram()
+        dram.write_bytes(0, b"\xab" * 64)
+        dram.power_down()
+        dram.elapse_unpowered(60.0, celsius_to_kelvin(25.0))
+        assert dram.restore_power() < 0.2
+
+    def test_cold_boot_regime(self):
+        """Chilled DRAM survives a minute-long migration (Halderman)."""
+        dram = fresh_dram()
+        dram.write_bytes(0, bytes(range(256)))
+        dram.power_down()
+        dram.elapse_unpowered(60.0, celsius_to_kelvin(-50.0))
+        assert dram.restore_power() > 0.9
+
+    def test_decayed_cells_fall_to_ground_state_not_zero(self):
+        """Anti-cells decay to 1: a dead module is not all-zeros."""
+        dram = fresh_dram(n_bits=8 * 8192)
+        dram.write_bytes(0, b"\x00" * dram.n_bytes)
+        dram.power_down()
+        dram.elapse_unpowered(3600.0, celsius_to_kelvin(25.0))
+        dram.restore_power()
+        ones = float(np.mean(dram.image()))
+        assert 0.4 < ones < 0.6  # ~half the cells are anti-cells
+
+    def test_elapse_requires_power_down(self):
+        with pytest.raises(CircuitError):
+            fresh_dram().elapse_unpowered(1.0, 300.0)
+
+    def test_rewrite_recharges(self):
+        dram = fresh_dram()
+        dram.power_down()
+        dram.elapse_unpowered(10.0, celsius_to_kelvin(25.0))
+        dram.restore_power()
+        dram.write_bytes(0, b"\x77" * 16)
+        dram.power_down()
+        dram.elapse_unpowered(0.01, celsius_to_kelvin(25.0))
+        dram.restore_power()
+        assert dram.read_bytes(0, 16) == b"\x77" * 16
+
+
+class TestPowerLoadProtocol:
+    def test_set_supply_voltage_is_lossless(self):
+        dram = fresh_dram()
+        dram.write_bytes(0, b"\x11" * 8)
+        assert dram.set_supply_voltage(1.1) == 0
+        assert dram.read_bytes(0, 8) == b"\x11" * 8
+
+    def test_transient_is_harmless(self):
+        dram = fresh_dram()
+        dram.write_bytes(0, b"\x22" * 8)
+        assert dram.apply_voltage_transient(0.0) == 0
+        assert dram.read_bytes(0, 8) == b"\x22" * 8
+
+    def test_voltage_ops_require_power(self):
+        dram = fresh_dram()
+        dram.power_down()
+        with pytest.raises(CircuitError):
+            dram.set_supply_voltage(1.1)
+        with pytest.raises(CircuitError):
+            dram.apply_voltage_transient(0.5)

@@ -1,0 +1,70 @@
+"""PMIC rails, sequencing, and input disconnect."""
+
+import pytest
+
+from repro.circuits.pmic import BuckConverter, Ldo, Pmic, Regulator
+from repro.errors import CalibrationError, PowerError
+
+
+def make_pmic():
+    pmic = Pmic(name="test-pmic")
+    pmic.add_rail(BuckConverter("VDD_CORE", 0.8))
+    pmic.add_rail(Ldo("VDD_IO", 3.3))
+    return pmic
+
+
+class TestRegulator:
+    def test_output_needs_input_and_enable(self):
+        rail = Regulator("X", 1.0, enabled=False)
+        assert rail.output_voltage(input_present=True) == 0.0
+        rail.enabled = True
+        assert rail.output_voltage(input_present=True) == 1.0
+        assert rail.output_voltage(input_present=False) == 0.0
+
+    def test_factories_set_kind(self):
+        assert Ldo("A", 1.0).kind == "ldo"
+        assert BuckConverter("B", 1.0).kind == "buck"
+
+    def test_invalid_voltage_rejected(self):
+        with pytest.raises(CalibrationError):
+            Regulator("X", 0.0)
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(CalibrationError):
+            Regulator("X", 1.0, kind="boost")
+
+
+class TestPmic:
+    def test_connect_sequences_rails_up(self):
+        pmic = make_pmic()
+        assert pmic.rail_voltage("VDD_CORE") == 0.0
+        pmic.connect_input()
+        assert pmic.rail_voltage("VDD_CORE") == pytest.approx(0.8)
+        assert pmic.rail_voltage("VDD_IO") == pytest.approx(3.3)
+
+    def test_disconnect_collapses_every_rail(self):
+        pmic = make_pmic()
+        pmic.connect_input()
+        pmic.disconnect_input()
+        assert pmic.rail_voltage("VDD_CORE") == 0.0
+        assert pmic.rail_voltage("VDD_IO") == 0.0
+
+    def test_duplicate_rail_rejected(self):
+        pmic = make_pmic()
+        with pytest.raises(PowerError):
+            pmic.add_rail(Ldo("VDD_IO", 1.8))
+
+    def test_unknown_rail_rejected(self):
+        with pytest.raises(PowerError):
+            make_pmic().rail("VDD_GPU")
+
+    def test_sequence_follows_registration(self):
+        pmic = make_pmic()
+        assert pmic.power_sequence == ["VDD_CORE", "VDD_IO"]
+
+    def test_describe_reports_live_state(self):
+        pmic = make_pmic()
+        pmic.connect_input()
+        rows = pmic.describe()
+        assert all(row["live"] for row in rows)
+        assert {row["rail"] for row in rows} == {"VDD_CORE", "VDD_IO"}

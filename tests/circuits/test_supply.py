@@ -1,0 +1,88 @@
+"""Bench supplies and voltage probes — the attacker's instruments."""
+
+import pytest
+
+from repro.circuits.passives import DecouplingNetwork, DisconnectSurge
+from repro.circuits.supply import BenchSupply, VoltageProbe
+from repro.errors import CalibrationError, ProbeError
+
+
+class TestBenchSupply:
+    def test_strong_supply_barely_droops(self):
+        supply = BenchSupply(voltage_v=0.8, current_limit_a=3.0)
+        floor = supply.minimum_rail_voltage(
+            DisconnectSurge(peak_current_a=2.0, duration_s=20e-6),
+            DecouplingNetwork(capacitance_f=47e-6),
+        )
+        assert floor > 0.6
+
+    def test_weak_supply_droops_below_drv(self):
+        supply = BenchSupply(voltage_v=0.8, current_limit_a=0.1)
+        floor = supply.minimum_rail_voltage(
+            DisconnectSurge(peak_current_a=2.0, duration_s=20e-6),
+            DecouplingNetwork(capacitance_f=47e-6),
+        )
+        assert floor < 0.25
+
+    def test_floor_monotonic_in_current_limit(self):
+        surge = DisconnectSurge(peak_current_a=2.0, duration_s=20e-6)
+        caps = DecouplingNetwork(capacitance_f=47e-6)
+        floors = [
+            BenchSupply(0.8, current_limit_a=limit).minimum_rail_voltage(
+                surge, caps
+            )
+            for limit in (0.1, 0.5, 1.0, 3.0)
+        ]
+        assert floors == sorted(floors)
+
+    def test_steady_state_drop(self):
+        supply = BenchSupply(0.8, source_resistance_ohm=0.05)
+        assert supply.steady_state_voltage(0.008) == pytest.approx(0.7996)
+
+    def test_current_limit_foldback(self):
+        supply = BenchSupply(0.8, current_limit_a=0.005)
+        assert supply.steady_state_voltage(0.008) == 0.0
+
+    def test_invalid_voltage_rejected(self):
+        with pytest.raises(CalibrationError):
+            BenchSupply(voltage_v=0.0)
+
+
+class TestVoltageProbe:
+    def test_attach_at_matching_voltage(self):
+        probe = VoltageProbe(BenchSupply(0.8), "TP15", "VDD_CORE")
+        probe.attach(live_rail_voltage=0.8)
+        assert probe.attached
+
+    def test_attach_to_dead_rail_allowed(self):
+        probe = VoltageProbe(BenchSupply(0.8), "TP15", "VDD_CORE")
+        probe.attach(live_rail_voltage=0.0)
+        assert probe.attached
+
+    def test_mismatched_setpoint_rejected(self):
+        probe = VoltageProbe(BenchSupply(0.5), "TP15", "VDD_CORE")
+        with pytest.raises(ProbeError):
+            probe.attach(live_rail_voltage=0.8)
+
+    def test_small_mismatch_tolerated(self):
+        probe = VoltageProbe(BenchSupply(0.82), "TP15", "VDD_CORE")
+        probe.attach(live_rail_voltage=0.8)
+        assert probe.attached
+
+    def test_double_attach_rejected(self):
+        probe = VoltageProbe(BenchSupply(0.8), "TP15", "VDD_CORE")
+        probe.attach(0.8)
+        with pytest.raises(ProbeError):
+            probe.attach(0.8)
+
+    def test_detach_requires_attach(self):
+        probe = VoltageProbe(BenchSupply(0.8), "TP15", "VDD_CORE")
+        with pytest.raises(ProbeError):
+            probe.detach()
+
+    def test_detach_then_reattach(self):
+        probe = VoltageProbe(BenchSupply(0.8), "TP15", "VDD_CORE")
+        probe.attach(0.8)
+        probe.detach()
+        probe.attach(0.8)
+        assert probe.attached

@@ -1,0 +1,66 @@
+"""Rail waveform reconstruction."""
+
+import pytest
+
+from repro.circuits.passives import DecouplingNetwork, DisconnectSurge
+from repro.circuits.supply import BenchSupply
+from repro.circuits.waveform import disconnect_waveform
+from repro.errors import CalibrationError
+
+SURGE = DisconnectSurge(peak_current_a=2.0, duration_s=20e-6)
+CAPS = DecouplingNetwork(capacitance_f=47e-6)
+
+
+def make_waveform(limit_a=3.0):
+    return disconnect_waveform(
+        BenchSupply(0.8, current_limit_a=limit_a),
+        nominal_v=0.8,
+        surge=SURGE,
+        decoupling=CAPS,
+    )
+
+
+class TestShape:
+    def test_starts_at_nominal(self):
+        waveform = make_waveform()
+        assert waveform.voltage_v[0] == pytest.approx(0.8)
+
+    def test_dips_during_surge(self):
+        waveform = make_waveform()
+        assert waveform.minimum() < 0.8
+        assert waveform.minimum() == pytest.approx(waveform.floor_v)
+
+    def test_recovers_to_steady_hold(self):
+        waveform = make_waveform()
+        assert waveform.voltage_v[-1] == pytest.approx(
+            waveform.steady_v, abs=0.01
+        )
+        # The retention hold sits just below the set-point.
+        assert 0.79 < waveform.steady_v < 0.80
+
+    def test_weak_probe_dips_deeper(self):
+        strong = make_waveform(limit_a=3.0)
+        weak = make_waveform(limit_a=0.25)
+        assert weak.minimum() < strong.minimum()
+
+    def test_time_below_threshold(self):
+        weak = make_waveform(limit_a=0.25)
+        # The weak probe's rail spends the surge below a typical DRV.
+        assert weak.time_below(0.25) >= SURGE.duration_s * 0.5
+        strong = make_waveform(limit_a=3.0)
+        assert strong.time_below(0.25) == 0.0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(CalibrationError):
+            disconnect_waveform(
+                BenchSupply(0.8), 0.8, SURGE, CAPS, post_window_s=0.0
+            )
+
+
+class TestRendering:
+    def test_ascii_plot_shape(self):
+        art = make_waveform().ascii_plot(width=40, height=8)
+        lines = art.splitlines()
+        assert len(lines) == 9  # 8 rows + axis
+        assert all(len(line) == 40 for line in lines)
+        assert "#" in lines[0]  # nominal level reaches the top row

@@ -1,0 +1,75 @@
+"""Attack step 1: probe planning against the PDN."""
+
+import pytest
+
+from repro.core.probe import SURGE_MARGIN, plan_probe
+from repro.devices import imx53_qsb, raspberry_pi_4
+from repro.errors import AttackError, PowerError
+
+
+@pytest.fixture(scope="module")
+def pi4():
+    return raspberry_pi_4(seed=501)
+
+
+@pytest.fixture(scope="module")
+def imx53():
+    return imx53_qsb(seed=502)
+
+
+class TestPlanning:
+    def test_cache_target_finds_core_pad(self, pi4):
+        plan = plan_probe(pi4, "l1-caches")
+        assert plan.domain_name == "VDD_CORE"
+        assert plan.pad.name == "TP15"
+        assert plan.set_voltage_v == pytest.approx(0.8)
+
+    def test_register_target_same_domain(self, pi4):
+        plan = plan_probe(pi4, "registers")
+        assert plan.domain_name == "VDD_CORE"
+
+    def test_iram_target_on_imx53(self, imx53):
+        plan = plan_probe(imx53, "iram")
+        assert plan.domain_name == "VDDAL1"
+        assert plan.pad.name == "SH13"
+        assert plan.set_voltage_v == pytest.approx(1.3)
+
+    def test_unknown_target_rejected(self, pi4):
+        with pytest.raises(PowerError):
+            plan_probe(pi4, "tpu-sram")
+
+    def test_iram_absent_on_pi_rejected(self, pi4):
+        with pytest.raises(PowerError):
+            plan_probe(pi4, "iram")
+
+    def test_supply_sizing_includes_margin(self, pi4):
+        plan = plan_probe(pi4, "l1-caches")
+        surge = pi4.soc.domain_spec("VDD_CORE").surge
+        assert plan.required_current_a == pytest.approx(
+            surge.peak_current_a * SURGE_MARGIN
+        )
+
+    def test_recommended_supply(self, pi4):
+        plan = plan_probe(pi4, "l1-caches")
+        supply = plan.recommended_supply()
+        assert supply.voltage_v == plan.set_voltage_v
+        assert supply.current_limit_a == plan.required_current_a
+
+    def test_supply_override(self, pi4):
+        plan = plan_probe(pi4, "l1-caches")
+        assert plan.recommended_supply(0.1).current_limit_a == 0.1
+
+    def test_describe_mentions_pad(self, pi4):
+        assert "TP15" in plan_probe(pi4, "l1-caches").describe()
+
+    def test_unpowered_board_uses_schematic_voltage(self):
+        board = raspberry_pi_4(seed=503)
+        board.unplug()
+        plan = plan_probe(board, "l1-caches")
+        assert plan.set_voltage_v == pytest.approx(0.8)
+        board.plug_in()
+
+    def test_padless_net_rejected(self, pi4):
+        # DRAM rail (DDR_VDDQ) exposes no pad in the model.
+        with pytest.raises(AttackError):
+            plan_probe(pi4, "dram")

@@ -1,0 +1,62 @@
+"""ISA encoding/decoding contracts."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.isa import Instruction, Opcode, branch_fields, decode, encode
+from repro.errors import AssemblerError
+
+
+class TestEncoding:
+    def test_fixed_width(self):
+        assert len(encode(Instruction(Opcode.NOP))) == 4
+
+    def test_roundtrip_simple(self):
+        instr = Instruction(Opcode.ADDI, 3, 4, 25)
+        assert decode(encode(instr)) == instr
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(AssemblerError):
+            decode(b"\xff\x00\x00\x00")
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(AssemblerError):
+            decode(b"\x00\x00")
+
+    def test_field_range_checked(self):
+        with pytest.raises(AssemblerError):
+            Instruction(Opcode.LDI, 300, 0, 0)
+
+
+class TestBranchFields:
+    def test_positive_offset(self):
+        b, c = branch_fields(5)
+        assert Instruction(Opcode.B, 0, b, c).simm16 == 5
+
+    def test_negative_offset(self):
+        b, c = branch_fields(-4)
+        assert Instruction(Opcode.B, 0, b, c).simm16 == -4
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(AssemblerError):
+            branch_fields(40_000)
+
+    @given(offset=st.integers(min_value=-0x8000, max_value=0x7FFF))
+    @settings(max_examples=50, deadline=None)
+    def test_any_offset_roundtrips(self, offset):
+        b, c = branch_fields(offset)
+        assert Instruction(Opcode.CBZ, 1, b, c).simm16 == offset
+
+
+class TestPropertyBased:
+    @given(
+        opcode=st.sampled_from(list(Opcode)),
+        a=st.integers(min_value=0, max_value=255),
+        b=st.integers(min_value=0, max_value=255),
+        c=st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_encode_decode_identity(self, opcode, a, b, c):
+        instr = Instruction(opcode, a, b, c)
+        assert decode(encode(instr)) == instr

@@ -1,0 +1,69 @@
+"""Canned victim programs: structure and effects."""
+
+import pytest
+
+from repro.cpu.assembler import assemble
+from repro.cpu.programs import (
+    ARRAY_ELEMENT_MAGIC,
+    byte_pattern_store,
+    dczva_wipe,
+    element_value,
+    nop_fill,
+    pattern_array,
+    vector_fill,
+)
+from repro.errors import AssemblerError
+
+
+class TestElementValues:
+    def test_magic_prefix(self):
+        assert element_value(0) == ARRAY_ELEMENT_MAGIC
+
+    def test_uniqueness(self):
+        values = {element_value(i) for i in range(1000)}
+        assert len(values) == 1000
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(AssemblerError):
+            element_value(-1)
+
+
+class TestProgramBuilders:
+    def test_nop_fill_size(self):
+        program = assemble(nop_fill(1024))
+        # 256 NOPs + cacheen + hlt.
+        assert program.n_instructions == 256 + 2
+
+    def test_nop_fill_rejects_unaligned(self):
+        with pytest.raises(AssemblerError):
+            nop_fill(1023)
+
+    def test_pattern_array_assembles(self):
+        program = assemble(pattern_array(0x4000, 128, passes=2))
+        assert program.n_instructions > 10
+
+    def test_pattern_array_rejects_bad_counts(self):
+        with pytest.raises(AssemblerError):
+            pattern_array(0x4000, 0)
+
+    def test_vector_fill_touches_all_registers(self):
+        source = vector_fill()
+        assert source.count("vfill") == 32
+
+    def test_byte_pattern_store_rejects_unaligned(self):
+        with pytest.raises(AssemblerError):
+            byte_pattern_store(0x4000, 13)
+
+    def test_dczva_wipe_rejects_unaligned(self):
+        with pytest.raises(AssemblerError):
+            dczva_wipe(0x4000, 100, line_bytes=64)
+
+    def test_all_builders_produce_valid_assembly(self):
+        for source in (
+            nop_fill(256),
+            pattern_array(0x4000, 16),
+            vector_fill(),
+            byte_pattern_store(0x4000, 64),
+            dczva_wipe(0x4000, 128),
+        ):
+            assert assemble(source).n_instructions > 0

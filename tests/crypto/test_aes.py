@@ -1,0 +1,112 @@
+"""AES correctness: FIPS-197 vectors, expansion structure, roundtrips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import (
+    AES_BLOCK_BYTES,
+    INV_SBOX,
+    SBOX,
+    decrypt_block,
+    encrypt_block,
+    expand_key,
+    rounds_for_key,
+    schedule_bytes,
+)
+from repro.errors import ReproError
+
+FIPS_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+
+class TestKnownVectors:
+    """FIPS-197 Appendix C example vectors."""
+
+    def test_aes128(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        expected = "69c4e0d86a7b0430d8cdb78070b4c55a"
+        assert encrypt_block(key, FIPS_PLAINTEXT).hex() == expected
+
+    def test_aes192(self):
+        key = bytes.fromhex(
+            "000102030405060708090a0b0c0d0e0f1011121314151617"
+        )
+        expected = "dda97ca4864cdfe06eaf70a0ec0d7191"
+        assert encrypt_block(key, FIPS_PLAINTEXT).hex() == expected
+
+    def test_aes256(self):
+        key = bytes.fromhex(
+            "000102030405060708090a0b0c0d0e0f"
+            "101112131415161718191a1b1c1d1e1f"
+        )
+        expected = "8ea2b7ca516745bfeafc49904b496089"
+        assert encrypt_block(key, FIPS_PLAINTEXT).hex() == expected
+
+
+class TestSbox:
+    def test_sbox_is_a_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+    def test_inverse_sbox_inverts(self):
+        assert all(INV_SBOX[SBOX[x]] == x for x in range(256))
+
+    def test_known_entries(self):
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x53] == 0xED
+
+
+class TestKeyExpansion:
+    def test_round_counts(self):
+        assert rounds_for_key(bytes(16)) == 10
+        assert rounds_for_key(bytes(24)) == 12
+        assert rounds_for_key(bytes(32)) == 14
+
+    def test_bad_key_length_rejected(self):
+        with pytest.raises(ReproError):
+            rounds_for_key(bytes(20))
+
+    def test_first_round_key_is_the_key(self):
+        key = bytes(range(16))
+        assert expand_key(key)[0] == key
+
+    def test_schedule_bytes_length(self):
+        assert len(schedule_bytes(bytes(16))) == 176
+        assert len(schedule_bytes(bytes(32))) == 240
+
+    def test_round_keys_are_16_bytes(self):
+        assert all(len(rk) == 16 for rk in expand_key(bytes(24)))
+
+
+class TestBlockInterface:
+    def test_wrong_block_size_rejected(self):
+        with pytest.raises(ReproError):
+            encrypt_block(bytes(16), b"short")
+        with pytest.raises(ReproError):
+            decrypt_block(bytes(16), b"short")
+
+    def test_encryption_changes_the_block(self):
+        key = bytes(range(16))
+        assert encrypt_block(key, bytes(16)) != bytes(16)
+
+
+class TestPropertyBased:
+    @given(
+        key=st.binary(min_size=16, max_size=16),
+        plaintext=st.binary(min_size=16, max_size=16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_decrypt_inverts_encrypt_128(self, key, plaintext):
+        assert decrypt_block(key, encrypt_block(key, plaintext)) == plaintext
+
+    @given(
+        key=st.binary(min_size=32, max_size=32),
+        plaintext=st.binary(min_size=16, max_size=16),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_decrypt_inverts_encrypt_256(self, key, plaintext):
+        assert decrypt_block(key, encrypt_block(key, plaintext)) == plaintext
+
+    @given(key=st.binary(min_size=16, max_size=16))
+    @settings(max_examples=25, deadline=None)
+    def test_schedule_prefix_is_key(self, key):
+        assert schedule_bytes(key)[:16] == key

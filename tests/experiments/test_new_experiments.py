@@ -1,0 +1,101 @@
+"""Reduced-scale runs of the extension experiments."""
+
+import pytest
+
+from repro.experiments import (
+    dram_coldboot,
+    microarch_leak,
+    policy_ablation,
+    standby_retention,
+)
+
+
+class TestDramColdBoot:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return dram_coldboot.run(seed=950)
+
+    def test_short_cuts_recover_the_key(self, result):
+        short = [p for p in result.points if p.off_time_s <= 60.0]
+        assert all(p.key_recovered for p in short)
+
+    def test_long_cuts_lose_the_key(self, result):
+        long = [p for p in result.points if p.off_time_s >= 420.0]
+        assert not any(p.key_recovered for p in long)
+
+    def test_decay_monotone_in_off_time(self, result):
+        fractions = [p.decayed_fraction for p in result.points]
+        assert fractions == sorted(fractions)
+
+    def test_scrambler_defeats_the_dump(self, result):
+        assert not result.scrambled_key_found
+        assert 0.35 < result.scrambled_dump_ones < 0.65
+
+    def test_report_renders(self, result):
+        rendered = dram_coldboot.report(result).render()
+        assert "scrambled" in rendered
+
+
+class TestMicroarchLeak:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return microarch_leak.run(seed=951)
+
+    def test_tlb_exposes_every_secret_page(self, result):
+        assert result.page_recovery_fraction == 1.0
+        assert result.secret_pages  # non-trivial victim
+
+    def test_btb_exposes_the_hot_loop(self, result):
+        assert result.branch_recovery_fraction == 1.0
+        assert result.loop_branch_pcs
+
+    def test_wiped_data_is_actually_gone(self, result):
+        assert result.data_lines_surviving == 0
+
+    def test_recovered_branches_point_into_victim_code(self, result):
+        hits = [
+            pc
+            for pc in result.recovered_branch_pcs
+            if result.code_base <= pc < result.code_end
+        ]
+        assert hits
+
+
+class TestStandbyRetention:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return standby_retention.run(seed=952)
+
+    def test_nominal_level_is_lossless(self, points):
+        nominal = next(p for p in points if p.standby_v == 0.80)
+        assert nominal.cells_lost == 0
+        assert nominal.pattern_lines_intact == 512
+
+    def test_leakage_drops_quadratically(self, points):
+        by_v = {p.standby_v: p.leakage_fraction for p in points}
+        assert by_v[0.40] == pytest.approx((0.40 / 0.80) ** 2)
+
+    def test_cliff_below_the_drv_tail(self, points):
+        by_v = {p.standby_v: p for p in points}
+        assert by_v[0.45].pattern_lines_intact == 512
+        assert by_v[0.25].pattern_lines_intact == 0
+
+    def test_losses_monotone_as_voltage_drops(self, points):
+        losses = [p.cells_lost for p in points]
+        assert losses == sorted(losses)
+
+
+class TestPolicyAblation:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return policy_ablation.run(seed=953)
+
+    def test_every_policy_in_the_same_band(self, points):
+        for point in points:
+            assert 78.0 < point.percent_extracted < 97.0
+
+    def test_all_policies_covered(self, points):
+        assert {p.policy for p in points} == set(policy_ablation.POLICIES)
+
+    def test_report_renders(self, points):
+        assert "Ablation" in policy_ablation.report(points).render()

@@ -1,0 +1,19 @@
+"""Figure rendering pipeline."""
+
+from repro.experiments.render import render_all
+
+
+class TestRenderAll:
+    def test_renders_every_figure(self, tmp_path):
+        written = render_all(tmp_path, seed=990)
+        names = {path.name for path in written}
+        assert "figure3_coldboot_way0.pgm" in names
+        assert "figure7_bcm2711_icache.pgm" in names
+        assert "figure7_bcm2837_icache.pgm" in names
+        assert "figure8_dcache_way0.pgm" in names
+        assert "figure9_panel_a.pgm" in names
+        assert len(names) == 9
+        for path in written:
+            raw = path.read_bytes()
+            assert raw.startswith(b"P5\n512 ")
+            assert len(raw) > 10_000

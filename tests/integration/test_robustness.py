@@ -1,0 +1,115 @@
+"""Adversarial / failure-injection integration tests.
+
+Step-5 hardening: things going wrong mid-attack, repeated attacks on
+one board, and hostile hardware configurations.
+"""
+
+import pytest
+
+from repro.circuits.supply import BenchSupply
+from repro.core.voltboot import VoltBootAttack
+from repro.devices import imx53_qsb, raspberry_pi_4
+from repro.errors import AttackError, ProbeError, ReproError
+from repro.soc.bootrom import BootMedia
+
+VICTIM = BootMedia("victim-os")
+ATTACKER = BootMedia("attacker-usb")
+
+
+def victim_board(seed):
+    board = raspberry_pi_4(seed=seed)
+    board.boot(VICTIM)
+    unit = board.soc.core(0)
+    unit.l1d.invalidate_all()
+    unit.l1d.enabled = True
+    unit.l1d.write(0x4000, b"\xaa" * 64)
+    return board
+
+
+class TestMidAttackFailures:
+    def test_probe_slip_during_hold_destroys_the_loot(self):
+        """The probe falls off while the board is dark: game over."""
+        board = victim_board(901)
+        attack = VoltBootAttack(board, target="l1-caches",
+                                boot_media=ATTACKER)
+        attack.identify()
+        attack.attach()
+        board.unplug()
+        board.detach_probe(attack.plan.pad.name)  # the slip
+        board.wait(10.0)
+        board.plug_in()
+        board.boot(ATTACKER)
+        from repro.core.extraction import extract_l1_images
+
+        images = extract_l1_images(board)
+        assert b"\xaa" * 64 not in images.dcache(0)
+
+    def test_double_attack_on_one_board(self):
+        """A second attack run on the same board still works."""
+        board = victim_board(902)
+        first = VoltBootAttack(board, target="l1-caches",
+                               boot_media=ATTACKER)
+        result1 = first.execute()
+        assert b"\xaa" * 64 in result1.cache_images.dcache(0)
+        first.cleanup()
+        # The data is still resident (nothing evicted it); run again.
+        second = VoltBootAttack(board, target="l1-caches",
+                                boot_media=BootMedia("attacker-usb-2"))
+        result2 = second.execute()
+        assert b"\xaa" * 64 in result2.cache_images.dcache(0)
+
+    def test_attach_to_wrong_voltage_pad_fails_loudly(self):
+        board = victim_board(903)
+        with pytest.raises(ProbeError):
+            board.attach_probe("TP2", BenchSupply(0.8))  # 3.3V IO pad
+
+    def test_double_attach_via_attack_api(self):
+        board = victim_board(904)
+        attack = VoltBootAttack(board, target="l1-caches",
+                                boot_media=ATTACKER)
+        attack.attach()
+        with pytest.raises(ProbeError):
+            attack.attach()
+
+
+class TestHostileConfigurations:
+    def test_jtag_fused_imx53_denies_iram_dump(self):
+        board = imx53_qsb(seed=905, jtag_fused=True)
+        board.boot()
+        attack = VoltBootAttack(board, target="iram")
+        attack.identify()
+        attack.attach()
+        attack.power_cycle()
+        attack.reboot()
+        from repro.errors import AccessViolation
+
+        with pytest.raises(AccessViolation):
+            attack.extract()
+
+    def test_all_countermeasures_stacked(self):
+        """MBIST + TrustZone + auth boot: the belt-and-braces device."""
+        from repro.errors import AuthenticatedBootError
+
+        board = raspberry_pi_4(
+            seed=906, trustzone_enforced=True, mbist_enabled=True,
+            auth_boot=True,
+        )
+        board.boot(BootMedia("oem-os", signature="oem-signed"))
+        unit = board.soc.core(0)
+        unit.l1d.invalidate_all()
+        unit.l1d.enabled = True
+        unit.l1d.write(0x4000, b"\xaa" * 64)
+        attack = VoltBootAttack(board, target="l1-caches",
+                                boot_media=ATTACKER)
+        with pytest.raises(AuthenticatedBootError):
+            attack.execute()
+
+    def test_report_errors_are_repro_errors(self):
+        """The public API never leaks bare exceptions for usage errors."""
+        board = victim_board(907)
+        attack = VoltBootAttack(board, target="l1-caches",
+                                boot_media=ATTACKER)
+        with pytest.raises(ReproError):
+            attack.power_cycle()  # no probe attached yet
+        with pytest.raises(AttackError):
+            attack.extract()

@@ -1,0 +1,134 @@
+"""OS simulation: processes, kernel noise, scheduling."""
+
+import pytest
+
+from repro.cpu.assembler import assemble
+from repro.cpu.programs import byte_pattern_store, element_value
+from repro.devices import raspberry_pi_4
+from repro.errors import BootError, CpuFault
+from repro.osim.kernel import SimKernel
+from repro.osim.noise import NoiseProfile
+from repro.osim.process import ArrayFillProcess, InterpretedProcess
+from repro.soc.bootrom import BootMedia
+
+
+@pytest.fixture(scope="module")
+def booted_board():
+    board = raspberry_pi_4(seed=301)
+    board.boot(BootMedia("os"))
+    return board
+
+
+class TestNoiseProfile:
+    def test_negative_rates_rejected(self):
+        from repro.errors import CalibrationError
+
+        with pytest.raises(CalibrationError):
+            NoiseProfile(fill_lines=-1.0)
+
+    def test_scaled(self):
+        profile = NoiseProfile(fill_lines=2.0, maintenance_lines=1.0)
+        doubled = profile.scaled(2.0)
+        assert doubled.fill_lines == 4.0
+        assert doubled.maintenance_lines == 2.0
+
+
+class TestKernelLifecycle:
+    def test_kernel_requires_booted_board(self):
+        board = raspberry_pi_4(seed=302)
+        with pytest.raises(BootError):
+            SimKernel(board)
+
+    def test_enable_caches(self, booted_board):
+        kernel = SimKernel(booted_board)
+        kernel.enable_caches()
+        assert all(
+            c.l1d.enabled and c.l1i.enabled for c in booted_board.soc.cores
+        )
+
+    def test_run_without_processes_faults(self, booted_board):
+        kernel = SimKernel(booted_board)
+        with pytest.raises(CpuFault):
+            kernel.run_round()
+
+    def test_spawn_validates_core_index(self, booted_board):
+        kernel = SimKernel(booted_board)
+        from repro.errors import PowerError
+
+        with pytest.raises(PowerError):
+            kernel.spawn(ArrayFillProcess("p", 99, 0x40000, 8))
+
+
+class TestArrayFillProcess:
+    def test_completes_and_leaves_elements_in_cache(self):
+        board = raspberry_pi_4(seed=303)
+        board.boot(BootMedia("os"))
+        kernel = SimKernel(board, seed_label="t-fill")
+        kernel.enable_caches()
+        process = ArrayFillProcess("p", 0, 0x40000, n_elements=64, passes=1)
+        kernel.spawn(process)
+        rounds = kernel.run()
+        assert process.finished
+        assert rounds >= 1
+        unit = board.soc.core(0)
+        image = unit.l1d.raw_way_image(0) + unit.l1d.raw_way_image(1)
+        assert element_value(0).to_bytes(8, "little") in image
+
+    def test_element_bytes_match_program_encoding(self):
+        process = ArrayFillProcess("p", 0, 0x40000, 8)
+        assert process.element_bytes(3) == element_value(3).to_bytes(8, "little")
+
+    def test_array_bytes(self):
+        assert ArrayFillProcess("p", 0, 0x40000, 512).array_bytes == 4096
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(CpuFault):
+            ArrayFillProcess("p", 0, 0x40000, n_elements=0)
+
+
+class TestInterpretedProcess:
+    def test_runs_machine_code_to_completion(self):
+        board = raspberry_pi_4(seed=304)
+        board.boot(BootMedia("os"))
+        kernel = SimKernel(board, seed_label="t-interp")
+        kernel.enable_caches()
+        program = assemble(byte_pattern_store(0x40000, 512, pattern=0x77))
+        process = InterpretedProcess("app", 0, program.machine_code, 0x8000)
+        kernel.spawn(process)
+        kernel.run()
+        assert process.finished
+        unit = board.soc.core(0)
+        image = unit.l1d.raw_way_image(0) + unit.l1d.raw_way_image(1)
+        assert b"\x77" * 64 in image
+
+
+class TestNoiseEffects:
+    def test_noise_statistics_accumulate(self):
+        board = raspberry_pi_4(seed=305)
+        board.boot(BootMedia("os"))
+        kernel = SimKernel(
+            board,
+            noise_profile=NoiseProfile(fill_lines=4.0, maintenance_lines=1.0),
+            seed_label="t-noise",
+        )
+        kernel.enable_caches()
+        kernel.spawn(ArrayFillProcess("p", 0, 0x40000, 256, passes=2))
+        kernel.run()
+        stats = kernel.noise_stats()
+        assert stats["fills"] > 0
+
+    def test_warm_caches_fills_every_line(self):
+        board = raspberry_pi_4(seed=306)
+        board.boot(BootMedia("os"))
+        kernel = SimKernel(board, seed_label="t-warm")
+        kernel.enable_caches()
+        kernel.warm_caches()
+        unit = board.soc.core(0)
+        valid = sum(
+            1
+            for index in range(unit.l1d.geometry.sets)
+            for way in range(unit.l1d.geometry.ways)
+            if unit.l1d.raw_tag_entry(index, way)[1]
+        )
+        total = unit.l1d.geometry.sets * unit.l1d.geometry.ways
+        assert valid > total * 0.5

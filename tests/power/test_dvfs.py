@@ -1,0 +1,67 @@
+"""DVFS voltage scaling on power domains."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.sram import SramArray
+from repro.errors import PowerError
+from repro.power.domain import PowerDomain
+from repro.power.events import PowerEventLog
+
+
+def make_domain():
+    log = PowerEventLog()
+    domain = PowerDomain("VDD_TEST", "NET", 0.8, log)
+    load = SramArray(8 * 2048, rng=np.random.default_rng(4), name="m")
+    domain.attach_load(load)
+    domain.apply_power()
+    return domain, load
+
+
+class TestScaleVoltage:
+    def test_scaling_within_headroom_is_lossless(self):
+        domain, load = make_domain()
+        load.fill_bytes(0xAA)
+        assert domain.scale_voltage(0.5) == 0
+        assert domain.voltage == pytest.approx(0.5)
+        assert load.read_bytes(0, 8) == b"\xaa" * 8
+
+    def test_scaling_below_drv_tail_loses_cells(self):
+        domain, load = make_domain()
+        load.fill_bytes(0xAA)
+        lost = domain.scale_voltage(0.25)
+        assert lost > 0
+
+    def test_unpowered_domain_rejected(self):
+        domain, _ = make_domain()
+        domain.cut_power()
+        with pytest.raises(PowerError):
+            domain.scale_voltage(0.5)
+
+    def test_held_domain_rejected(self):
+        """An attacker's probe wins the argument with the PMU."""
+        domain, _ = make_domain()
+        domain.hold_external(0.79, 0.6)
+        with pytest.raises(PowerError):
+            domain.scale_voltage(0.5)
+
+    def test_invalid_voltage_rejected(self):
+        domain, _ = make_domain()
+        with pytest.raises(PowerError):
+            domain.scale_voltage(0.0)
+
+
+class TestLeakageModel:
+    def test_nominal_is_unity(self):
+        domain, _ = make_domain()
+        assert domain.leakage_power_fraction() == pytest.approx(1.0)
+
+    def test_quadratic_scaling(self):
+        domain, _ = make_domain()
+        domain.scale_voltage(0.4)
+        assert domain.leakage_power_fraction() == pytest.approx(0.25)
+
+    def test_dark_domain_leaks_nothing(self):
+        domain, _ = make_domain()
+        domain.cut_power()
+        assert domain.leakage_power_fraction() == 0.0

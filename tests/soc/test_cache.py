@@ -1,0 +1,238 @@
+"""Set-associative cache: geometry, controller, maintenance, raw access."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CalibrationError, CircuitError
+from repro.soc.cache import CacheGeometry
+
+from ..conftest import DictBacking, make_cache
+
+
+class TestGeometry:
+    def test_derived_shapes(self):
+        g = CacheGeometry(size_bytes=32768, ways=2, line_bytes=64)
+        assert g.sets == 256
+        assert g.way_bytes == 16384
+        assert g.offset_bits == 6
+        assert g.index_bits == 8
+
+    def test_split_and_line_base(self):
+        g = CacheGeometry(size_bytes=4096, ways=2, line_bytes=64)
+        tag, index, offset = g.split(0x12345)
+        assert offset == 0x12345 % 64
+        assert index == (0x12345 // 64) % g.sets
+        assert tag == 0x12345 // (64 * g.sets)
+        assert g.line_base(0x12345) == 0x12345 & ~63
+
+    def test_non_power_of_two_line_rejected(self):
+        with pytest.raises(CalibrationError):
+            CacheGeometry(size_bytes=4096, ways=2, line_bytes=48)
+
+    def test_indivisible_size_rejected(self):
+        with pytest.raises(CalibrationError):
+            CacheGeometry(size_bytes=1000, ways=3, line_bytes=64)
+
+
+class TestBasicAccess:
+    def test_write_then_read_hits(self, small_cache):
+        small_cache.write(0x100, b"payload!")
+        assert small_cache.read(0x100, 8) == b"payload!"
+        assert small_cache.hits >= 1
+
+    def test_miss_fills_from_backing(self, backing, small_cache):
+        backing.data[0x200:0x208] = b"fromdram"
+        assert small_cache.read(0x200, 8) == b"fromdram"
+        assert small_cache.misses == 1
+
+    def test_disabled_cache_bypasses(self, backing):
+        cache = make_cache(backing, enabled=False)
+        cache.write(0x40, b"direct")
+        assert bytes(backing.data[0x40:0x46]) == b"direct"
+        assert cache.misses == 0
+
+    def test_access_spanning_lines(self, small_cache):
+        data = bytes(range(100))
+        small_cache.write(60, data)  # crosses a 64-byte boundary
+        assert small_cache.read(60, 100) == data
+
+    def test_write_back_not_write_through(self, backing, small_cache):
+        small_cache.write(0x300, b"dirty!!!")
+        assert bytes(backing.data[0x300:0x308]) != b"dirty!!!"
+
+    def test_zero_size_access_rejected(self, small_cache):
+        from repro.errors import MemoryMapError
+
+        with pytest.raises(MemoryMapError):
+            small_cache.read(0, 0)
+
+
+class TestReplacement:
+    def test_conflicting_lines_fill_both_ways(self, backing, small_cache):
+        way_span = small_cache.geometry.way_bytes
+        small_cache.write(0x0, b"way-zero")
+        small_cache.write(way_span, b"way-one!")
+        assert small_cache.read(0x0, 8) == b"way-zero"
+        assert small_cache.read(way_span, 8) == b"way-one!"
+        assert small_cache.evictions == 0
+
+    def test_third_conflict_evicts_lru(self, backing, small_cache):
+        way_span = small_cache.geometry.way_bytes
+        small_cache.write(0x0, b"aaaaaaaa")
+        small_cache.write(way_span, b"bbbbbbbb")
+        small_cache.read(0x0, 8)  # make way holding "a" the MRU
+        small_cache.write(2 * way_span, b"cccccccc")  # evicts "b"
+        assert small_cache.evictions == 1
+        # "b" was dirty: it must have been written back.
+        assert bytes(backing.data[way_span : way_span + 8]) == b"bbbbbbbb"
+
+    def test_eviction_preserves_reconstructed_address(self, backing, small_cache):
+        addr = 3 * small_cache.geometry.way_bytes + 5 * 64
+        small_cache.write(addr, b"victim!!")
+        small_cache.write(addr + small_cache.geometry.way_bytes, b"x" * 8)
+        small_cache.write(addr + 2 * small_cache.geometry.way_bytes, b"y" * 8)
+        assert bytes(backing.data[addr : addr + 8]) == b"victim!!"
+
+
+class TestMaintenance:
+    def test_invalidate_all_keeps_data_ram(self, small_cache):
+        """Paper §5.2.4: invalidation does not erase contents."""
+        small_cache.write(0x40, b"\xaa" * 64)
+        small_cache.invalidate_all()
+        assert b"\xaa" * 64 in small_cache.raw_way_image(0) + small_cache.raw_way_image(1)
+
+    def test_invalidate_all_forces_refetch(self, backing, small_cache):
+        small_cache.write(0x40, b"\xaa" * 64)
+        small_cache.invalidate_all()
+        # The dirty line was dropped without writeback: stale data returns.
+        assert small_cache.read(0x40, 8) == bytes(8)
+
+    def test_clean_invalidate_writes_back(self, backing, small_cache):
+        small_cache.write(0x40, b"\xbb" * 64)
+        small_cache.clean_invalidate_all()
+        assert bytes(backing.data[0x40:0x80]) == b"\xbb" * 64
+        assert b"\xbb" * 64 in small_cache.raw_way_image(0) + small_cache.raw_way_image(1)
+
+    def test_clean_invalidate_line_by_va(self, backing, small_cache):
+        small_cache.write(0x80, b"\xcc" * 64)
+        assert small_cache.clean_invalidate_line(0x85)
+        assert bytes(backing.data[0x80:0xC0]) == b"\xcc" * 64
+        # Data RAM payload still present (the duplication mechanism).
+        assert b"\xcc" * 64 in small_cache.raw_way_image(0) + small_cache.raw_way_image(1)
+
+    def test_clean_invalidate_line_miss_returns_false(self, small_cache):
+        assert not small_cache.clean_invalidate_line(0x5000)
+
+    def test_zero_line_erases_data_ram(self, small_cache):
+        small_cache.write(0x40, b"\xdd" * 64)
+        small_cache.zero_line(0x40)
+        combined = small_cache.raw_way_image(0) + small_cache.raw_way_image(1)
+        assert b"\xdd" * 64 not in combined
+
+    def test_zero_line_requires_enabled(self, backing):
+        cache = make_cache(backing, enabled=False)
+        with pytest.raises(CircuitError):
+            cache.zero_line(0x40)
+
+    def test_zero_all_lines_clears_every_way(self, small_cache):
+        small_cache.write(0x0, b"\xee" * 64)
+        small_cache.write(small_cache.geometry.way_bytes, b"\xee" * 64)
+        small_cache.zero_all_lines()
+        for way in range(small_cache.geometry.ways):
+            assert small_cache.raw_way_image(way) == bytes(
+                small_cache.geometry.way_bytes
+            )
+
+
+class TestArchitecturalReset:
+    def test_reset_disables_and_clears_lru_only(self, small_cache):
+        small_cache.write(0x40, b"\xaa" * 64)
+        small_cache.reset_architectural_state()
+        assert not small_cache.enabled
+        combined = small_cache.raw_way_image(0) + small_cache.raw_way_image(1)
+        assert b"\xaa" * 64 in combined  # SRAM untouched
+
+
+class TestRawAccess:
+    def test_raw_way_image_size(self, small_cache):
+        assert len(small_cache.raw_way_image(0)) == small_cache.geometry.way_bytes
+
+    def test_raw_way_out_of_range(self, small_cache):
+        from repro.errors import MemoryMapError
+
+        with pytest.raises(MemoryMapError):
+            small_cache.raw_way_image(5)
+
+    def test_raw_tag_entry_reflects_fill(self, small_cache):
+        small_cache.write(0x40, b"x" * 8)
+        tag, index, _ = small_cache.geometry.split(0x40)
+        found = [
+            small_cache.raw_tag_entry(index, way)
+            for way in range(small_cache.geometry.ways)
+        ]
+        assert any(
+            entry[0] == tag and entry[1] and entry[2] for entry in found
+        )
+
+    def test_line_security_tracks_ns_flag(self, small_cache):
+        small_cache.write(0x40, b"s" * 8, ns=False)
+        tag, index, _ = small_cache.geometry.split(0x40)
+        secure_ways = [
+            way
+            for way in range(small_cache.geometry.ways)
+            if small_cache.line_security(index, way)
+        ]
+        assert secure_ways
+
+
+class TestLineInterleave:
+    def test_interleaved_storage_roundtrips_architecturally(self, backing):
+        cache = make_cache(backing, line_interleave=True)
+        cache.write(0x40, b"interleaved line ok!")
+        assert cache.read(0x40, 20) == b"interleaved line ok!"
+
+    def test_raw_image_is_permuted(self, backing):
+        cache = make_cache(backing, line_interleave=True)
+        cache.write(0x40, b"\xaa" * 64)
+        combined = cache.raw_way_image(0) + cache.raw_way_image(1)
+        # The raw RAM holds a bit-permuted form, not the plain pattern...
+        assert b"\xaa" * 64 not in combined
+        # ...but population count is preserved by any permutation.
+        bits = np.unpackbits(np.frombuffer(combined, dtype=np.uint8))
+        assert bits.sum() >= 64 * 4  # the 0xAA line contributes 256 ones
+
+
+class TestPropertyBased:
+    @given(
+        addr=st.integers(min_value=0, max_value=0x7FF0),
+        payload=st.binary(min_size=1, max_size=128),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_cache_is_transparent(self, addr, payload):
+        backing = DictBacking(size=0x10000)
+        cache = make_cache(backing)
+        cache.write(addr, payload)
+        assert cache.read(addr, len(payload)) == payload
+
+    @given(
+        writes=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=0xFF0),
+                st.binary(min_size=1, max_size=16),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_clean_invalidate_flushes_exact_memory_state(self, writes):
+        backing = DictBacking(size=0x10000)
+        mirror = bytearray(0x10000)
+        cache = make_cache(backing)
+        for addr, payload in writes:
+            cache.write(addr, payload)
+            mirror[addr : addr + len(payload)] = payload
+        cache.clean_invalidate_all()
+        assert bytes(backing.data[:0x1000]) == bytes(mirror[:0x1000])

@@ -1,0 +1,93 @@
+"""SRAM-backed register files."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.sram import SramParameters
+from repro.errors import CpuFault
+from repro.soc.regfile import RegisterFile, general_purpose_file, vector_file
+
+
+def make_vreg():
+    return vector_file(SramParameters(), np.random.default_rng(5))
+
+
+class TestShapes:
+    def test_gpr_file_shape(self):
+        gpr = general_purpose_file(SramParameters(), np.random.default_rng(1))
+        gpr.sram.power_up()
+        assert gpr.count == 31
+        assert gpr.width_bits == 64
+
+    def test_vector_file_shape(self):
+        vreg = make_vreg()
+        assert vreg.count == 32
+        assert vreg.width_bits == 128
+
+    def test_non_byte_width_rejected(self):
+        with pytest.raises(CpuFault):
+            RegisterFile("x", 4, 13, SramParameters(), np.random.default_rng(0))
+
+
+class TestAccess:
+    def test_int_roundtrip(self):
+        vreg = make_vreg()
+        vreg.sram.power_up()
+        vreg.write(7, 0x0123456789ABCDEF0011223344556677)
+        assert vreg.read(7) == 0x0123456789ABCDEF0011223344556677
+
+    def test_write_truncates_to_width(self):
+        vreg = make_vreg()
+        vreg.sram.power_up()
+        vreg.write(0, 1 << 200)
+        assert vreg.read(0) == 0
+
+    def test_bytes_roundtrip(self):
+        vreg = make_vreg()
+        vreg.sram.power_up()
+        vreg.write_bytes(3, bytes(range(16)))
+        assert vreg.read_bytes(3) == bytes(range(16))
+
+    def test_wrong_byte_width_rejected(self):
+        vreg = make_vreg()
+        vreg.sram.power_up()
+        with pytest.raises(CpuFault):
+            vreg.write_bytes(0, b"short")
+
+    def test_out_of_range_register_rejected(self):
+        vreg = make_vreg()
+        vreg.sram.power_up()
+        with pytest.raises(CpuFault):
+            vreg.read(32)
+
+    def test_dump_lists_all(self):
+        vreg = make_vreg()
+        vreg.sram.power_up()
+        for i in range(vreg.count):
+            vreg.write(i, i)
+        assert vreg.dump() == list(range(32))
+
+    def test_image_is_contiguous_sram(self):
+        vreg = make_vreg()
+        vreg.sram.power_up()
+        vreg.write_bytes(0, b"\xff" * 16)
+        assert vreg.image()[:16] == b"\xff" * 16
+
+
+class TestRetentionCoupling:
+    def test_registers_survive_held_supply(self):
+        """The §7.2 property: register SRAM is just SRAM."""
+        vreg = make_vreg()
+        vreg.sram.power_up()
+        vreg.write_bytes(0, b"\xaa" * 16)
+        vreg.sram.set_supply_voltage(0.79)  # probe hold
+        assert vreg.read_bytes(0) == b"\xaa" * 16
+
+    def test_registers_randomise_across_dark_cycle(self):
+        vreg = make_vreg()
+        vreg.sram.power_up()
+        vreg.write_bytes(0, b"\xaa" * 16)
+        vreg.sram.power_down()
+        vreg.sram.elapse_unpowered(0.5, 300.0)
+        vreg.sram.restore_power()
+        assert vreg.read_bytes(0) != b"\xaa" * 16

@@ -1,0 +1,74 @@
+"""Command-line interface behaviour."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestInventory:
+    def test_prints_both_tables(self, capsys):
+        assert main(["inventory"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Table 3" in out
+        assert "TP15" in out
+        assert "i.MX535" in out
+
+
+class TestListExperiments:
+    def test_lists_all_registered(self, capsys):
+        assert main(["list-experiments"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(out) == set(EXPERIMENTS)
+
+
+class TestAttackCommand:
+    def test_voltboot_rpi4_default_target(self, capsys):
+        assert main(["attack", "--device", "rpi4", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "TP15" in out
+        assert "RECOVERED" in out
+
+    def test_voltboot_imx53_iram(self, capsys):
+        assert main(["attack", "--device", "imx53", "--seed", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "SH13" in out
+        assert "RECOVERED" in out
+
+    def test_coldboot_fails_to_recover(self, capsys):
+        assert main(
+            ["attack", "--device", "rpi4", "--method", "coldboot", "--seed", "7"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "NOT recovered" in out
+
+    def test_invalid_target_for_device(self, capsys):
+        assert main(["attack", "--device", "imx53", "--target", "registers"]) == 2
+        assert "supports targets" in capsys.readouterr().err
+
+    def test_registers_target(self, capsys):
+        assert main(
+            ["attack", "--device", "rpi3", "--target", "registers", "--seed", "8"]
+        ) == 0
+        assert "RECOVERED" in capsys.readouterr().out
+
+
+class TestExperimentCommand:
+    def test_runs_a_fast_experiment(self, capsys):
+        assert main(["experiment", "retention-sweep", "--seed", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "Retention sweep" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "no-such-thing"])
+
+    def test_registry_covers_every_module(self):
+        from repro import experiments
+
+        registered = {module.__name__ for module in EXPERIMENTS.values()}
+        available = {
+            getattr(experiments, name).__name__
+            for name in experiments.__all__
+        }
+        assert registered == available

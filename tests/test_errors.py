@@ -1,0 +1,44 @@
+"""Exception-hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.CircuitError,
+            errors.PowerError,
+            errors.ProbeError,
+            errors.AccessViolation,
+            errors.SecureAccessViolation,
+            errors.PrivilegeViolation,
+            errors.MemoryMapError,
+            errors.CpuFault,
+            errors.AssemblerError,
+            errors.BootError,
+            errors.AuthenticatedBootError,
+            errors.AttackError,
+            errors.CalibrationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_probe_error_is_circuit_error(self):
+        assert issubclass(errors.ProbeError, errors.CircuitError)
+
+    def test_secure_violation_is_access_violation(self):
+        assert issubclass(errors.SecureAccessViolation, errors.AccessViolation)
+
+    def test_assembler_error_is_cpu_fault(self):
+        assert issubclass(errors.AssemblerError, errors.CpuFault)
+
+    def test_auth_boot_error_is_boot_error(self):
+        assert issubclass(errors.AuthenticatedBootError, errors.BootError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.AttackError("boom")

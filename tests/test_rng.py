@@ -1,0 +1,50 @@
+"""Deterministic RNG derivation."""
+
+from repro.rng import DEFAULT_SEED, SeedSequenceFactory, derive_seed, generator
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", "b") == derive_seed(1, "a", "b")
+
+    def test_label_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_root_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_path_not_concatenation(self):
+        # ("ab",) and ("a", "b") must differ: labels are delimited.
+        assert derive_seed(1, "ab") != derive_seed(1, "a", "b")
+
+    def test_nonnegative_63_bit(self):
+        seed = derive_seed(DEFAULT_SEED, "x")
+        assert 0 <= seed < 2**63
+
+
+class TestGenerator:
+    def test_same_path_same_stream(self):
+        a = generator(7, "sram").integers(0, 1000, 10)
+        b = generator(7, "sram").integers(0, 1000, 10)
+        assert (a == b).all()
+
+    def test_different_path_different_stream(self):
+        a = generator(7, "sram").integers(0, 1000, 10)
+        b = generator(7, "dram").integers(0, 1000, 10)
+        assert not (a == b).all()
+
+
+class TestFactory:
+    def test_child_matches_direct_derivation(self):
+        factory = SeedSequenceFactory(42)
+        child = factory.child("soc")
+        assert child.root == factory.seed("soc")
+
+    def test_generators_reproducible(self):
+        factory = SeedSequenceFactory(42)
+        a = factory.generator("x").random(5)
+        b = factory.generator("x").random(5)
+        assert (a == b).all()
+
+    def test_root_property(self):
+        assert SeedSequenceFactory(9).root == 9

@@ -1,0 +1,79 @@
+"""Unit-conversion and formatting helpers."""
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.units import (
+    celsius_to_kelvin,
+    format_bytes,
+    format_duration,
+    format_voltage,
+    kelvin_to_celsius,
+    kib,
+    microseconds,
+    milliamps,
+    milliseconds,
+    millivolts,
+)
+
+
+class TestTemperature:
+    def test_celsius_to_kelvin_room(self):
+        assert celsius_to_kelvin(25.0) == pytest.approx(298.15)
+
+    def test_roundtrip(self):
+        assert kelvin_to_celsius(celsius_to_kelvin(-40.0)) == pytest.approx(-40.0)
+
+    def test_below_absolute_zero_rejected(self):
+        with pytest.raises(CalibrationError):
+            celsius_to_kelvin(-300.0)
+
+    def test_nonpositive_kelvin_rejected(self):
+        with pytest.raises(CalibrationError):
+            kelvin_to_celsius(0.0)
+
+
+class TestScalars:
+    def test_milliseconds(self):
+        assert milliseconds(20) == pytest.approx(0.02)
+
+    def test_microseconds(self):
+        assert microseconds(5) == pytest.approx(5e-6)
+
+    def test_millivolts(self):
+        assert millivolts(800) == pytest.approx(0.8)
+
+    def test_milliamps(self):
+        assert milliamps(600) == pytest.approx(0.6)
+
+    def test_kib(self):
+        assert kib(32) == 32768
+
+
+class TestFormatting:
+    def test_volts(self):
+        assert format_voltage(1.2) == "1.2V"
+
+    def test_millivolt_range(self):
+        assert format_voltage(0.8) == "800mV"
+
+    def test_duration_seconds(self):
+        assert format_duration(2.0) == "2s"
+
+    def test_duration_milliseconds(self):
+        assert format_duration(0.004) == "4ms"
+
+    def test_duration_microseconds(self):
+        assert format_duration(26e-6) == "26us"
+
+    def test_duration_nanoseconds(self):
+        assert format_duration(5e-9) == "5ns"
+
+    def test_bytes_plain(self):
+        assert format_bytes(100) == "100B"
+
+    def test_bytes_kib(self):
+        assert format_bytes(32768) == "32KiB"
+
+    def test_bytes_mib(self):
+        assert format_bytes(1024 * 1024) == "1MiB"
