@@ -5,6 +5,12 @@ experiment under ``pytest-benchmark`` timing (single round — these are
 whole-system simulations, not microbenchmarks), asserts the paper's
 shape, and emits the rendered rows both to stdout and to
 ``benchmarks/results/<name>.txt`` so the numbers survive the run.
+
+Observability is enabled for every bench, so decorated experiment runs
+record a :class:`~repro.obs.RunManifest`; ``record_report`` persists it
+as ``benchmarks/results/<name>.json`` next to the text table, giving
+the perf-trajectory tooling a machine-readable record of each run
+(device, seed, per-phase timings, headline numbers).
 """
 
 from __future__ import annotations
@@ -13,16 +19,42 @@ from pathlib import Path
 
 import pytest
 
+from repro import obs
+from repro.obs import RunManifest, validate_manifest, write_json
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+@pytest.fixture(autouse=True)
+def _observability():
+    """Collect traces/metrics/manifests for the duration of each bench."""
+    obs.OBS.configure()
+    yield
+    obs.OBS.reset()
+
+
 @pytest.fixture
-def record_report():
-    """Persist and display a rendered experiment report."""
+def record_report(request):
+    """Persist and display a rendered experiment report + its manifest."""
 
     def _record(name: str, rendered: str) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{name}.txt").write_text(rendered + "\n")
+        manifest = obs.OBS.last_manifest
+        if manifest is None:
+            # Bench drove the simulator directly rather than through a
+            # decorated experiment run; synthesise a minimal manifest so
+            # every results/*.txt still has a machine-readable sibling.
+            manifest = RunManifest(
+                kind="benchmark",
+                name=name,
+                seed=None,
+                metrics=obs.OBS.metrics.snapshot(),
+            )
+        doc = manifest.to_dict()
+        doc["benchmark"] = request.node.name
+        validate_manifest(doc)
+        write_json(RESULTS_DIR / f"{name}.json", doc)
         print()
         print(rendered)
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import CalibrationError, CircuitError
+from ..obs import OBS
 from ..units import ROOM_TEMPERATURE_K
 from .leakage import ArrheniusDecay, DRAM_DECAY
 
@@ -131,6 +132,8 @@ class DramArray:
         scale = self._retention_scale.astype(np.float32)
         factor = np.exp(np.float32(-seconds) / (np.float32(tau) * scale))
         self._level = (self._level.astype(np.float32) * factor).astype(np.float16)
+        if OBS.enabled:
+            OBS.gauge_set("dram.tau_s", tau, array=self.name)
 
     def restore_power(self, voltage: float | None = None) -> float:
         """Restore power; decayed cells revert to their ground state.
@@ -147,7 +150,17 @@ class DramArray:
         self._bits = np.where(retained, self._bits, ground)
         self._level = np.ones(self._n_bits, dtype=np.float64)
         self._powered = True
-        return float(np.mean(retained))
+        fraction = float(np.mean(retained))
+        if OBS.enabled:
+            OBS.histogram_record(
+                "dram.retained_fraction", fraction, array=self.name
+            )
+            OBS.counter_inc(
+                "dram.cells_decayed",
+                int(self._n_bits - int(retained.sum())),
+                array=self.name,
+            )
+        return fraction
 
     def set_supply_voltage(self, voltage: float) -> int:
         """PowerLoad hook: DRAM tolerates supply moves; no cells are lost.

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import CalibrationError, CircuitError
+from ..obs import OBS
 from ..units import ROOM_TEMPERATURE_K
 from .leakage import ArrheniusDecay, SRAM_DECAY
 
@@ -259,6 +260,12 @@ class SramArray:
         self._unpowered_fraction *= self.params.decay.surviving_fraction(
             seconds, temperature_k
         )
+        if OBS.enabled:
+            OBS.gauge_set(
+                "sram.tau_s",
+                self.params.decay.time_constant(temperature_k),
+                array=self.name,
+            )
 
     def restore_power(self, voltage: float | None = None) -> float:
         """Re-apply power after an unpowered interval.
@@ -281,7 +288,17 @@ class SramArray:
         # Restoring at a voltage below some cells' DRV immediately
         # collapses those cells as well.
         self._collapse_below(self._supply_v)
-        return float(np.mean(retained))
+        fraction = float(np.mean(retained))
+        if OBS.enabled:
+            OBS.histogram_record(
+                "sram.retained_fraction", fraction, array=self.name
+            )
+            OBS.counter_inc(
+                "sram.cells_decayed",
+                int(self._n_bits - int(retained.sum())),
+                array=self.name,
+            )
+        return fraction
 
     def set_supply_voltage(self, voltage: float) -> int:
         """Adjust the supply while powered (DVFS, or an attacker's probe).
@@ -360,7 +377,10 @@ class SramArray:
             return 0
         fresh = self._sample_powerup()
         self._bits = np.where(lost, fresh, self._bits)
-        return int(lost.sum())
+        count = int(lost.sum())
+        if OBS.enabled:
+            OBS.counter_inc("sram.cells_below_drv", count, array=self.name)
+        return count
 
     def _require_powered(self, action: str) -> None:
         if not self._powered:

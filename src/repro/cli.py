@@ -7,6 +7,13 @@ Commands:
   simulated device with a demo victim and print what was recovered;
 * ``experiment`` — run one named paper experiment and print its report;
 * ``list-experiments`` — show the available experiment names.
+
+``attack`` and ``experiment`` accept observability flags: ``--trace
+FILE`` streams a JSONL span/event trace, ``--metrics`` reports the
+collected physics metrics, and ``--json`` replaces the human-readable
+output with one machine-readable JSON document (including the run
+manifest).  With none of these flags, output is byte-identical to an
+uninstrumented run.
 """
 
 from __future__ import annotations
@@ -15,7 +22,7 @@ import argparse
 import sys
 from collections.abc import Sequence
 
-from . import __version__, experiments
+from . import __version__, experiments, obs
 from .core.coldboot import ColdBootAttack
 from .core.report import AttackReport
 from .core.voltboot import VoltBootAttack
@@ -78,12 +85,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--temperature", type=float, default=-40.0,
         help="chamber temperature for coldboot (degC)",
     )
+    _add_observability_flags(attack)
 
     experiment = commands.add_parser(
         "experiment", help="run one paper experiment"
     )
-    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.add_argument(
+        "name", metavar="NAME",
+        help="experiment name (see list-experiments)",
+    )
     experiment.add_argument("--seed", type=int, default=2022)
+    _add_observability_flags(experiment)
 
     commands.add_parser("list-experiments", help="list experiment names")
 
@@ -93,6 +105,50 @@ def _build_parser() -> argparse.ArgumentParser:
     render.add_argument("--out", default="figures", help="output directory")
     render.add_argument("--seed", type=int, default=2022)
     return parser
+
+
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="stream a JSONL span/event trace to FILE",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="report collected physics metrics after the run",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit one machine-readable JSON document on stdout",
+    )
+
+
+def _wants_observability(args: argparse.Namespace) -> bool:
+    return bool(args.trace or args.metrics or args.json)
+
+
+def _configure_observability(args: argparse.Namespace) -> bool:
+    """Enable collection; False (after a one-line error) if the trace
+    file cannot be opened."""
+    try:
+        obs.OBS.configure(trace_path=args.trace)
+    except OSError as error:
+        print(f"error: cannot open trace file: {error}", file=sys.stderr)
+        return False
+    return True
+
+
+def _print_metrics() -> None:
+    """Render the metrics snapshot as an aligned text table."""
+    report = AttackReport("Observability metrics")
+    for name, value in obs.OBS.metrics.snapshot().items():
+        if isinstance(value, dict):
+            value = (
+                f"count={value['count']} mean={value['mean']:.4f} "
+                f"min={value['min']:.4f} max={value['max']:.4f}"
+            )
+        report.add_row(metric=name, value=value)
+    print()
+    print(report.render())
 
 
 def _cmd_inventory() -> int:
@@ -130,16 +186,37 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     device = args.device
     target = args.target or _DEVICE_TARGETS[device][0]
     if target not in _DEVICE_TARGETS[device]:
+        valid = ", ".join(_DEVICE_TARGETS[device])
         print(
-            f"error: {device} supports targets {_DEVICE_TARGETS[device]}",
+            f"error: unknown target {target!r} for {device}; "
+            f"valid targets: {valid}",
             file=sys.stderr,
         )
         return 2
+    observed = _wants_observability(args)
+    if observed and not _configure_observability(args):
+        return 2
+    try:
+        return _run_attack(args, device, target)
+    finally:
+        if observed:
+            obs.OBS.reset()
+
+
+def _run_attack(args: argparse.Namespace, device: str, target: str) -> int:
     board = build_device(device, seed=args.seed)
     media = None if device == "imx53" else BootMedia("victim-os")
     board.boot(media)
     secret = _prepare_demo_victim(board, target)
     attacker_media = None if device == "imx53" else BootMedia("attacker-usb")
+
+    doc: dict[str, object] = {
+        "command": "attack",
+        "device": device,
+        "target": target,
+        "method": args.method,
+        "seed": args.seed,
+    }
 
     if args.method == "coldboot":
         attack = ColdBootAttack(
@@ -150,14 +227,22 @@ def _cmd_attack(args: argparse.Namespace) -> int:
             result.cache_images is not None
             and secret in result.cache_images.dcache(0)
         )
+        if args.json:
+            doc["temperature_c"] = args.temperature
+            doc["recovered"] = recovered
+            _emit_json(doc, include_metrics=args.metrics)
+            return 0
         print(f"cold boot at {args.temperature:g}C: "
               f"secret {'RECOVERED' if recovered else 'NOT recovered'} "
               f"(expected: not recovered — SRAM has no chill)")
+        if args.metrics:
+            _print_metrics()
         return 0
 
     attack = VoltBootAttack(board, target=target, boot_media=attacker_media)
     plan = attack.identify()
-    print(f"plan: {plan.describe()}")
+    if not args.json:
+        print(f"plan: {plan.describe()}")
     result = attack.execute()
     if target == "iram":
         recovered = secret in result.iram_image
@@ -167,17 +252,61 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         )
     else:
         recovered = secret in result.cache_images.dcache(0)
+    if args.json:
+        doc["plan"] = plan.describe()
+        doc["recovered"] = recovered
+        doc["surge_clean"] = result.surge_clean
+        doc["cells_lost_in_surge"] = result.cells_lost_in_surge
+        _emit_json(doc, include_metrics=args.metrics)
+        return 0
     print(f"volt boot on {device}/{target}: "
           f"secret {'RECOVERED' if recovered else 'NOT recovered'} "
           f"(surge {'clean' if result.surge_clean else 'lossy'})")
+    if args.metrics:
+        _print_metrics()
     return 0
+
+
+def _emit_json(doc: dict[str, object], include_metrics: bool) -> None:
+    """Finish a ``--json`` document with manifest/metrics and print it."""
+    manifest = obs.OBS.last_manifest
+    doc["manifest"] = manifest.to_dict() if manifest is not None else None
+    if include_metrics:
+        doc["metrics"] = obs.OBS.metrics.snapshot()
+    print(obs.dumps(doc))
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.name not in EXPERIMENTS:
+        print(
+            f"error: unknown experiment {args.name!r}; choose from: "
+            f"{', '.join(sorted(EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
     module = EXPERIMENTS[args.name]
-    result = module.run(seed=args.seed)
-    print(module.report(result).render())
-    return 0
+    observed = _wants_observability(args)
+    if observed and not _configure_observability(args):
+        return 2
+    try:
+        result = module.run(seed=args.seed)
+        report = module.report(result)
+        if args.json:
+            doc: dict[str, object] = {
+                "command": "experiment",
+                "name": args.name,
+                "seed": args.seed,
+                "report": report.to_dict(),
+            }
+            _emit_json(doc, include_metrics=args.metrics)
+        else:
+            print(report.render())
+            if args.metrics:
+                _print_metrics()
+        return 0
+    finally:
+        if observed:
+            obs.OBS.reset()
 
 
 def main(argv: Sequence[str] | None = None) -> int:

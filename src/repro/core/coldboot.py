@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import AttackError
+from ..obs import OBS, RunManifest, SectionTimer
 from ..soc.board import Board
 from ..soc.bootrom import BootMedia
 from .extraction import CacheImages, attacker_context, extract_l1_images
@@ -59,18 +60,67 @@ class ColdBootAttack:
 
     def execute(self, extract_caches: bool = True) -> ColdBootResult:
         """Chill, power cycle, reboot, and (optionally) dump the L1s."""
-        self.board.set_temperature_c(self.temperature_c)
-        self.board.unplug()
-        self.board.wait(self.off_time_s)
-        retained = self.board.plug_in()
-        result = ColdBootResult(
+        timer = SectionTimer()
+        with OBS.span(
+            "attack.coldboot",
+            device=self.board.name,
             temperature_c=self.temperature_c,
-            off_time_s=self.off_time_s,
-            retained_fractions=retained,
-        )
-        self.board.boot(self.boot_media)
-        if extract_caches:
-            result.cache_images = extract_l1_images(
-                self.board, attacker_context(self.board)
+        ):
+            with timer.section("chill"), OBS.span(
+                "attack.chill", temperature_c=self.temperature_c
+            ):
+                self.board.set_temperature_c(self.temperature_c)
+            with timer.section("power-cycle"), OBS.span(
+                "attack.power-cycle", off_time_s=self.off_time_s
+            ) as cycle_span:
+                self.board.unplug()
+                self.board.wait(self.off_time_s)
+                retained = self.board.plug_in()
+                cycle_span.set_attribute(
+                    "retention_metrics",
+                    OBS.metrics.snapshot("sram.retained"),
+                )
+            result = ColdBootResult(
+                temperature_c=self.temperature_c,
+                off_time_s=self.off_time_s,
+                retained_fractions=retained,
+            )
+            with timer.section("reboot"), OBS.span(
+                "attack.reboot",
+                media=self.boot_media.name if self.boot_media else "internal ROM",
+            ):
+                self.board.boot(self.boot_media)
+            if extract_caches:
+                with timer.section("extract"), OBS.span(
+                    "attack.extract", target="l1-caches"
+                ):
+                    result.cache_images = extract_l1_images(
+                        self.board, attacker_context(self.board)
+                    )
+        if OBS.enabled:
+            mean_retained = {
+                domain: sum(loads.values()) / len(loads)
+                for domain, loads in retained.items()
+                if loads
+            }
+            OBS.record_manifest(
+                RunManifest(
+                    kind="attack",
+                    name="coldboot",
+                    seed=self.board.seed_root,
+                    device=self.board.name,
+                    parameters={
+                        "temperature_c": self.temperature_c,
+                        "off_time_s": self.off_time_s,
+                        "boot_media": (
+                            self.boot_media.name if self.boot_media else None
+                        ),
+                    },
+                    phases=timer.phases(),
+                    headline={
+                        "mean_retained_fraction_by_domain": mean_retained
+                    },
+                    metrics=OBS.metrics.snapshot(),
+                )
             )
         return result

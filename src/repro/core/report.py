@@ -32,6 +32,14 @@ class AttackReport:
         """Attach a free-text observation to the report."""
         self.notes.append(note)
 
+    def to_dict(self) -> dict[str, object]:
+        """The report as a JSON-friendly dict (``--json`` CLI mode)."""
+        return {
+            "title": self.title,
+            "rows": [dict(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
     def column_names(self) -> list[str]:
         """Union of all row columns, in first-seen order."""
         names: list[str] = []

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 from ..circuits.supply import BenchSupply
 from ..errors import AttackError
+from ..obs import OBS, RunManifest, SectionTimer
 from ..soc.board import Board
 from ..soc.bootrom import BootMedia
 from ..soc.jtag import JtagProbe
@@ -77,7 +78,14 @@ class VoltBootAttack:
 
     def identify(self) -> ProbePlan:
         """Step 1: locate the domain, pad, and required supply."""
-        self.plan = plan_probe(self.board, self.target)
+        with OBS.span("attack.identify", target=self.target) as span:
+            self.plan = plan_probe(self.board, self.target)
+            span.set_attributes(
+                domain=self.plan.domain_name,
+                pad=self.plan.pad.name,
+                set_voltage_v=self.plan.set_voltage_v,
+                required_current_a=self.plan.required_current_a,
+            )
         return self.plan
 
     def attach(self) -> None:
@@ -86,7 +94,13 @@ class VoltBootAttack:
             self.identify()
         assert self.plan is not None
         supply = self._supply_override or self.plan.recommended_supply()
-        self.board.attach_probe(self.plan.pad.name, supply)
+        with OBS.span(
+            "attack.attach",
+            pad=self.plan.pad.name,
+            supply_voltage_v=supply.voltage_v,
+            current_limit_a=supply.current_limit_a,
+        ):
+            self.board.attach_probe(self.plan.pad.name, supply)
         self._attached = True
 
     def power_cycle(self) -> int:
@@ -97,15 +111,28 @@ class VoltBootAttack:
         """
         if not self._attached:
             raise AttackError("attach the probe before power cycling")
-        losses = self.board.unplug()
-        self.board.wait(self.off_time_s)
-        self.board.plug_in()
         assert self.plan is not None
-        return losses.get(self.plan.domain_name, 0)
+        with OBS.span(
+            "attack.power-cycle", off_time_s=self.off_time_s
+        ) as span:
+            losses = self.board.unplug()
+            self.board.wait(self.off_time_s)
+            self.board.plug_in()
+            lost = losses.get(self.plan.domain_name, 0)
+            span.set_attributes(
+                held_domain=self.plan.domain_name,
+                cells_lost_in_surge=lost,
+                cells_below_drv_total=OBS.metrics.counter_total(
+                    "sram.cells_below_drv"
+                ),
+            )
+        return lost
 
     def reboot(self) -> None:
         """Step 3b: boot the attacker's media (or the internal ROM)."""
-        self.board.boot(self.boot_media)
+        media = self.boot_media.name if self.boot_media else "internal ROM"
+        with OBS.span("attack.reboot", media=media):
+            self.board.boot(self.boot_media)
 
     def extract(self) -> VoltBootResult:
         """Step 4: dump the target memory through the debug interfaces."""
@@ -116,25 +143,37 @@ class VoltBootAttack:
             cells_lost_in_surge=self._surge_losses,
             off_time_s=self.off_time_s,
         )
-        ctx = attacker_context(self.board)
-        if self.target in ("l1-caches", "registers"):
-            result.cache_images = extract_l1_images(
-                self.board,
-                ctx,
-                skip_secure=self.board.soc.config.trustzone_enforced,
-            )
-            for core_index in range(len(self.board.soc.cores)):
-                result.vector_registers[core_index] = extract_vector_registers(
-                    self.board, core_index
+        with OBS.span("attack.extract", target=self.target) as span:
+            ctx = attacker_context(self.board)
+            if self.target in ("l1-caches", "registers"):
+                result.cache_images = extract_l1_images(
+                    self.board,
+                    ctx,
+                    skip_secure=self.board.soc.config.trustzone_enforced,
                 )
-        elif self.target == "iram":
-            jtag = JtagProbe(
-                self.board.soc.memory_map,
-                enabled=self.board.soc.config.jtag_enabled,
+                for core_index in range(len(self.board.soc.cores)):
+                    result.vector_registers[core_index] = (
+                        extract_vector_registers(self.board, core_index)
+                    )
+                span.set_attribute(
+                    "cores_dumped", len(self.board.soc.cores)
+                )
+            elif self.target == "iram":
+                jtag = JtagProbe(
+                    self.board.soc.memory_map,
+                    enabled=self.board.soc.config.jtag_enabled,
+                )
+                result.iram_image = extract_iram(self.board, jtag)
+                span.set_attribute("iram_bytes", len(result.iram_image))
+            else:
+                raise AttackError(
+                    f"no extraction path for target {self.target!r}"
+                )
+            span.set_attributes(
+                cells_lost_in_surge=result.cells_lost_in_surge,
+                surge_clean=result.surge_clean,
+                retention_metrics=OBS.metrics.snapshot("sram.retained"),
             )
-            result.iram_image = extract_iram(self.board, jtag)
-        else:
-            raise AttackError(f"no extraction path for target {self.target!r}")
         return result
 
     # ------------------------------------------------------------------
@@ -145,11 +184,45 @@ class VoltBootAttack:
 
     def execute(self) -> VoltBootResult:
         """Run all four steps and return the extraction result."""
-        self.identify()
-        self.attach()
-        self._surge_losses = self.power_cycle()
-        self.reboot()
-        return self.extract()
+        timer = SectionTimer()
+        with OBS.span(
+            "attack.voltboot", device=self.board.name, target=self.target
+        ):
+            with timer.section("identify"):
+                self.identify()
+            with timer.section("attach"):
+                self.attach()
+            with timer.section("power-cycle"):
+                self._surge_losses = self.power_cycle()
+            with timer.section("reboot"):
+                self.reboot()
+            with timer.section("extract"):
+                result = self.extract()
+        if OBS.enabled:
+            OBS.record_manifest(
+                RunManifest(
+                    kind="attack",
+                    name="voltboot",
+                    seed=self.board.seed_root,
+                    device=self.board.name,
+                    parameters={
+                        "target": self.target,
+                        "off_time_s": self.off_time_s,
+                        "boot_media": (
+                            self.boot_media.name if self.boot_media else None
+                        ),
+                    },
+                    phases=timer.phases(),
+                    headline={
+                        "surge_clean": result.surge_clean,
+                        "cells_lost_in_surge": result.cells_lost_in_surge,
+                        "probe_pad": result.plan.pad.name,
+                        "held_domain": result.plan.domain_name,
+                    },
+                    metrics=OBS.metrics.snapshot(),
+                )
+            )
+        return result
 
     def cleanup(self) -> None:
         """Lift the probe (ends the artificial retention)."""

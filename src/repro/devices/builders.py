@@ -88,7 +88,10 @@ def _finish_board(
     for pad_name, net_name, description in pads:
         pdn.add_test_pad(pad_name, net_name, description)
 
-    board = Board(name, soc, pmic, pdn, main_memory, seeds.child("board"), log)
+    board = Board(
+        name, soc, pmic, pdn, main_memory, seeds.child("board"), log,
+        root_seed=seed,
+    )
     board.plug_in()
     return board
 

@@ -25,6 +25,7 @@ from ..devices.builders import IMX53_IRAM_BASE, IMX53_IRAM_SIZE
 from ..rng import DEFAULT_SEED
 from ..soc.jtag import JtagProbe
 from .common import ATTACKER_MEDIA, VICTIM_MEDIA, fill_dcache, snapshot_l1d
+from .common import manifested
 
 #: A recovered region counts as "available" when its bits survive boot;
 #: clobbered regions approach 50 % mismatch against the stored pattern.
@@ -115,6 +116,7 @@ def _iram_availability(seed: int) -> AccessibilityRow:
     )
 
 
+@manifested("accessibility", device="rpi4+imx53")
 def run(seed: int = DEFAULT_SEED) -> list[AccessibilityRow]:
     """Measure all three availability figures."""
     return [

@@ -9,9 +9,15 @@ paper's "compare to previously-stored binaries" methodology.
 
 from __future__ import annotations
 
+import dataclasses
+import functools
+import inspect
+from typing import Any, Callable
+
 from ..cpu.assembler import assemble
 from ..cpu.core import Core
 from ..cpu.programs import nop_fill, vector_fill
+from ..obs import OBS, RunManifest, SectionTimer
 from ..soc.board import Board
 from ..soc.bootrom import BootMedia
 from ..soc.soc import CoreUnit
@@ -92,3 +98,100 @@ def snapshot_l1i(unit: CoreUnit) -> list[bytes]:
     return [
         unit.l1i.raw_way_image(way) for way in range(unit.l1i.geometry.ways)
     ]
+
+
+# ----------------------------------------------------------------------
+# Run manifests for experiments
+# ----------------------------------------------------------------------
+
+
+def _plain(value: Any) -> Any:
+    """Reduce a parameter/headline value to JSON-friendly primitives."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_plain(v) for v in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _plain(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    return repr(value)
+
+
+def auto_headline(result: Any) -> dict[str, Any]:
+    """A generic headline for experiments without a bespoke summariser.
+
+    Lists report their row count; dataclasses and dicts surface their
+    scalar fields — enough for trend tooling to chart something useful
+    even before a module grows a curated summary.
+    """
+    if isinstance(result, (list, tuple)):
+        return {"rows": len(result)}
+    source: dict[str, Any] | None = None
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        source = {
+            f.name: getattr(result, f.name)
+            for f in dataclasses.fields(result)
+        }
+    elif isinstance(result, dict):
+        source = result
+    if source is not None:
+        return {
+            str(k): v
+            for k, v in source.items()
+            if isinstance(v, (int, float, str, bool))
+        }
+    return {}
+
+
+def manifested(
+    experiment: str,
+    device: str | None = None,
+    headline: Callable[[Any], dict[str, Any]] | None = None,
+) -> Callable:
+    """Decorate an experiment ``run`` to record a run manifest.
+
+    When observability is disabled the wrapper adds a single boolean
+    check and nothing else, so undecorated behaviour (and RNG state) is
+    preserved byte-for-byte.  When enabled, the run is wrapped in an
+    ``experiment.<name>`` span and a :class:`~repro.obs.RunManifest` is
+    recorded with the call's bound parameters, wall-clock timing, and a
+    headline summary.
+    """
+
+    def decorate(run_fn: Callable) -> Callable:
+        signature = inspect.signature(run_fn)
+
+        @functools.wraps(run_fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not OBS.enabled:
+                return run_fn(*args, **kwargs)
+            bound = signature.bind_partial(*args, **kwargs)
+            bound.apply_defaults()
+            params = {k: _plain(v) for k, v in bound.arguments.items()}
+            timer = SectionTimer()
+            with OBS.span(f"experiment.{experiment}", device=device):
+                with timer.section("run"):
+                    result = run_fn(*args, **kwargs)
+            summarise = headline or auto_headline
+            seed = bound.arguments.get("seed")
+            OBS.record_manifest(
+                RunManifest(
+                    kind="experiment",
+                    name=experiment,
+                    seed=seed if isinstance(seed, int) else None,
+                    device=device,
+                    parameters=params,
+                    phases=timer.phases(),
+                    headline=_plain(summarise(result)),
+                    metrics=OBS.metrics.snapshot(),
+                )
+            )
+            return result
+
+        return wrapper
+
+    return decorate

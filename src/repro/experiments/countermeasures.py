@@ -38,6 +38,7 @@ from .common import (
     victim_buffer_base,
     victim_code_base,
 )
+from .common import manifested
 
 #: Secret key parked CaSE-style in secure cache lines.
 VICTIM_KEY = bytes(range(16))
@@ -161,6 +162,7 @@ def _case_auth_boot(seed: int) -> DefenseOutcome:
     )
 
 
+@manifested("countermeasures", device="rpi4")
 def run(seed: int = DEFAULT_SEED) -> list[DefenseOutcome]:
     """Evaluate every defense on fresh, otherwise-identical victims."""
     return [

@@ -30,6 +30,7 @@ from ..rng import DEFAULT_SEED, generator
 from ..soc.memory_map import MainMemory
 from ..soc.scrambler import ScrambledMemory
 from ..units import celsius_to_kelvin
+from .common import manifested
 
 #: The disk key the victim schedule derives from.
 VICTIM_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
@@ -79,6 +80,7 @@ def _ground_window(ground: np.ndarray) -> bytes:
     ).tobytes()
 
 
+@manifested("dram-coldboot", device="rpi4")
 def run(seed: int = DEFAULT_SEED) -> DramColdBootResult:
     """Run the off-time sweep and the scrambler control."""
     schedule = schedule_bytes(VICTIM_KEY)

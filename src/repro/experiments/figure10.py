@@ -18,6 +18,7 @@ from ..core.report import AttackReport
 from ..devices.builders import IMX53_IRAM_BASE
 from ..rng import DEFAULT_SEED
 from . import figure9
+from .common import manifested
 
 #: Profile granularity (bits), as in the paper.
 BLOCK_BITS = 512
@@ -74,6 +75,7 @@ def _find_clusters(profile: np.ndarray, threshold: int = 8) -> list[ErrorCluster
     return clusters
 
 
+@manifested("figure10", device="imx53")
 def run(seed: int = DEFAULT_SEED) -> Figure10Result:
     """Compute the profile from a fresh Figure 9 recovery."""
     recovery = figure9.run(seed=seed)

@@ -16,6 +16,7 @@ from ..core.report import AttackReport
 from ..devices import raspberry_pi_4
 from ..rng import DEFAULT_SEED
 from .common import ATTACKER_MEDIA, VICTIM_MEDIA, fill_dcache
+from .common import manifested
 
 #: The paper renders WAY0 as a 256-row x 512-column bit matrix (16 KB).
 IMAGE_WIDTH_BITS = 512
@@ -41,6 +42,7 @@ class Figure3Result:
         write_pgm(self.way0_image, IMAGE_WIDTH_BITS, path)
 
 
+@manifested("figure3", device="rpi4")
 def run(seed: int = DEFAULT_SEED, temperature_c: float = -40.0) -> Figure3Result:
     """Cold boot a pattern-filled Pi 4 and dump d-cache WAY0 of core 0."""
     board = raspberry_pi_4(seed=seed)

@@ -24,6 +24,7 @@ from ..core.voltboot import VoltBootAttack
 from ..devices import raspberry_pi_3, raspberry_pi_4
 from ..rng import DEFAULT_SEED
 from .common import ATTACKER_MEDIA, VICTIM_MEDIA, run_nop_fill, snapshot_l1i
+from .common import manifested
 
 _BUILDERS = {"BCM2711": raspberry_pi_4, "BCM2837": raspberry_pi_3}
 
@@ -68,6 +69,7 @@ def run_device(builder_name: str, seed: int = DEFAULT_SEED) -> Figure7Result:
     return result
 
 
+@manifested("figure7", device="rpi4+rpi3")
 def run(seed: int = DEFAULT_SEED) -> list[Figure7Result]:
     """Run on both devices (the two panels of Figure 7)."""
     return [run_device(name, seed) for name in _BUILDERS]

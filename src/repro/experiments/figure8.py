@@ -26,6 +26,7 @@ from .common import (
     victim_buffer_base,
     victim_code_base,
 )
+from .common import manifested
 
 #: Size of the 0xAA buffer the demo app touches.
 BUFFER_BYTES = 8 * 1024
@@ -52,6 +53,7 @@ class Figure8Result:
         return self.code_fragments_in_icache > 0
 
 
+@manifested("figure8", device="rpi4")
 def run(seed: int = DEFAULT_SEED) -> Figure8Result:
     """Run the OS scenario on a Pi 4 and attack core 0's caches."""
     board = raspberry_pi_4(seed=seed)

@@ -23,6 +23,7 @@ from ..devices import imx53_qsb
 from ..devices.builders import IMX53_IRAM_BASE, IMX53_IRAM_SIZE
 from ..rng import DEFAULT_SEED
 from ..soc.jtag import JtagProbe
+from .common import manifested
 
 #: Number of bitmap copies stored (paper: four, filling the 128 KB iRAM).
 N_PANELS = 4
@@ -61,6 +62,7 @@ class Figure9Result:
         write_pgm(self.panel(index), 512, path)
 
 
+@manifested("figure9", device="imx53")
 def run(seed: int = DEFAULT_SEED) -> Figure9Result:
     """Store the bitmaps, Volt Boot the iRAM, and dump it back."""
     board = imx53_qsb(seed=seed)

@@ -29,6 +29,7 @@ from ..soc.cp15 import RamId
 from ..soc.tlb import Btb, Tlb
 from ..core.extraction import attacker_context
 from .common import ATTACKER_MEDIA, VICTIM_MEDIA, victim_buffer_base
+from .common import manifested
 
 #: Size of the victim's secret buffer.
 BUFFER_BYTES = 16 * 1024
@@ -67,6 +68,7 @@ class MicroarchLeakResult:
         )
 
 
+@manifested("microarch-leak", device="rpi4")
 def run(seed: int = DEFAULT_SEED) -> MicroarchLeakResult:
     """Victim writes + wipes a secret buffer; attack dumps TLB/BTB."""
     board = raspberry_pi_4(seed=seed)

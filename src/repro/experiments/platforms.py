@@ -12,12 +12,14 @@ from ..core.probe import plan_probe
 from ..core.report import AttackReport
 from ..devices import DEVICES, build_device
 from ..rng import DEFAULT_SEED
+from .common import manifested
 
 #: Maps a registry target keyword onto the planner's member keyword.
 _TARGET_KEYWORD = {"L1D": "l1-caches", "L1I": "l1-caches",
                    "registers": "registers", "iRAM": "iram"}
 
 
+@manifested("platforms", device="all")
 def run(seed: int = DEFAULT_SEED) -> list[dict[str, object]]:
     """Cross-check every registry row against a freshly built board."""
     rows = []

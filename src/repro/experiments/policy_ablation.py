@@ -26,6 +26,7 @@ from ..rng import DEFAULT_SEED
 from ..units import kib
 from .common import ATTACKER_MEDIA, VICTIM_MEDIA, victim_buffer_base
 from .table4 import TABLE4_NOISE
+from .common import manifested
 
 #: Policies ablated.
 POLICIES = ("lru", "round-robin", "random")
@@ -49,6 +50,7 @@ class PolicyPoint:
         return 100.0 * self.union_count / self.n_elements
 
 
+@manifested("policy-ablation", device="rpi4")
 def run(seed: int = DEFAULT_SEED) -> list[PolicyPoint]:
     """Run the 32 KiB scenario once per policy."""
     points = []

@@ -32,6 +32,7 @@ from ..devices import raspberry_pi_4
 from ..errors import ProbeError
 from ..rng import DEFAULT_SEED, generator
 from .common import ATTACKER_MEDIA, VICTIM_MEDIA, fill_dcache, snapshot_l1d
+from .common import manifested
 
 #: Current limits swept at nominal voltage (amps).
 CURRENT_LIMITS_A = (0.05, 0.25, 0.5, 1.0, 3.0)
@@ -86,6 +87,7 @@ def _hold_voltage_accuracy(seed: int, hold_v: float) -> float:
     return max(0.0, 100.0 * (2.0 * surviving - 1.0))
 
 
+@manifested("probe-sweep", device="rpi4")
 def run(seed: int = DEFAULT_SEED) -> list[ProbePoint]:
     """Run all three sweeps; returns every sampled point."""
     points: list[ProbePoint] = []

@@ -19,6 +19,7 @@ from ..core.voltboot import VoltBootAttack
 from ..devices import raspberry_pi_3, raspberry_pi_4
 from ..rng import DEFAULT_SEED
 from .common import ATTACKER_MEDIA, VICTIM_MEDIA, run_vector_fill
+from .common import manifested
 
 _BUILDERS = {"BCM2711": raspberry_pi_4, "BCM2837": raspberry_pi_3}
 
@@ -65,6 +66,7 @@ def run_device(builder_name: str, seed: int = DEFAULT_SEED) -> RegisterResult:
     return result
 
 
+@manifested("registers", device="rpi4+rpi3")
 def run(seed: int = DEFAULT_SEED) -> list[RegisterResult]:
     """Run on both Broadcom devices."""
     return [run_device(name, seed) for name in _BUILDERS]

@@ -22,6 +22,7 @@ from ..circuits.sram import SramArray
 from ..core.report import AttackReport
 from ..rng import DEFAULT_SEED, generator
 from ..units import celsius_to_kelvin
+from .common import manifested
 
 #: Temperature axis (degrees C): room, chamber cold, cold boot classic,
 #: extreme (liquid-nitrogen-ish) territory.
@@ -101,6 +102,7 @@ def _voltboot_retention(seed: int) -> float:
     return float(np.mean(sram.image() == reference))
 
 
+@manifested("retention-sweep", device="rpi4")
 def run(seed: int = DEFAULT_SEED) -> RetentionSweep:
     """Measure the full (technology x temperature x time) grid."""
     sweep = RetentionSweep()

@@ -22,6 +22,7 @@ from ..core.report import AttackReport
 from ..devices import raspberry_pi_4
 from ..rng import DEFAULT_SEED
 from .common import VICTIM_MEDIA, fill_dcache
+from .common import manifested
 
 #: Standby voltages swept on the 0.8 V core rail.
 STANDBY_LEVELS_V = (0.80, 0.60, 0.45, 0.40, 0.35, 0.30, 0.25)
@@ -37,6 +38,7 @@ class StandbyPoint:
     pattern_lines_intact: int
 
 
+@manifested("standby-retention", device="rpi4")
 def run(seed: int = DEFAULT_SEED) -> list[StandbyPoint]:
     """Sweep standby levels on fresh boards holding a cache pattern."""
     points = []

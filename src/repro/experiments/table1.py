@@ -18,6 +18,7 @@ from ..core.report import AttackReport
 from ..devices import raspberry_pi_4
 from ..rng import DEFAULT_SEED
 from .common import ATTACKER_MEDIA, VICTIM_MEDIA, fill_dcache, snapshot_l1d
+from .common import manifested
 
 #: The temperatures of paper Table 1: the recommended minimum operating
 #: point, just below it, and the SoC's hard limit.
@@ -41,6 +42,17 @@ class Table1Row:
         return sum(self.per_core_error_percent) / len(self.per_core_error_percent)
 
 
+def _headline(rows: "list[Table1Row]") -> dict[str, float]:
+    return {
+        "temperatures": len(rows),
+        "mean_error_percent": sum(r.mean_error_percent for r in rows)
+        / len(rows),
+        "mean_fhd_to_powerup": sum(r.fhd_to_powerup for r in rows)
+        / len(rows),
+    }
+
+
+@manifested("table1", device="rpi4", headline=_headline)
 def run(seed: int = DEFAULT_SEED) -> list[Table1Row]:
     """Run the three-temperature cold boot sweep on fresh Pi 4 boards."""
     rows = []

@@ -28,6 +28,7 @@ from ..osim.process import ArrayFillProcess
 from ..rng import DEFAULT_SEED
 from ..units import kib
 from .common import ATTACKER_MEDIA, VICTIM_MEDIA, victim_buffer_base
+from .common import manifested
 
 #: Array sizes of the sweep (the paper's 12.5 % .. 100 % of the cache).
 TABLE4_ARRAY_KIB = (4, 8, 16, 32)
@@ -105,6 +106,16 @@ def _run_single_trial(
     return per_core
 
 
+def _headline(cells: "list[Table4Cell]") -> dict[str, float]:
+    percents = [cell.percent_extracted for cell in cells]
+    return {
+        "cells": len(cells),
+        "mean_percent_extracted": sum(percents) / len(percents),
+        "min_percent_extracted": min(percents),
+    }
+
+
+@manifested("table4", device="rpi4", headline=_headline)
 def run(
     seed: int = DEFAULT_SEED,
     array_sizes_kib: tuple[int, ...] = TABLE4_ARRAY_KIB,

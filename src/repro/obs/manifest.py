@@ -1,0 +1,75 @@
+"""Machine-readable run manifests.
+
+A manifest is the one-document summary of a run — what was attacked or
+measured, with which parameters, how long each phase took, and what the
+headline numbers were.  The CLI's ``--json`` mode prints it, benchmarks
+persist one next to every ``results/*.txt``, and the determinism test
+compares :meth:`RunManifest.fingerprint` across repeat runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from .export import SCHEMA_VERSION, _jsonable, validate_manifest
+
+
+@dataclass
+class RunManifest:
+    """One run's machine-readable summary.
+
+    ``kind`` is ``"attack"``, ``"experiment"``, or ``"benchmark"``;
+    ``phases`` is a list of ``{"name": ..., "wall_s": ...}`` dicts (see
+    :class:`~repro.obs.timing.SectionTimer`); ``headline`` carries the
+    few numbers a human would quote; ``metrics`` is a registry snapshot.
+    """
+
+    kind: str
+    name: str
+    seed: int | None
+    device: str | None = None
+    parameters: dict[str, Any] = field(default_factory=dict)
+    phases: list[dict[str, Any]] = field(default_factory=list)
+    headline: dict[str, Any] = field(default_factory=dict)
+    metrics: dict[str, Any] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    def to_dict(self, include_timings: bool = True) -> dict[str, Any]:
+        """Manifest as a schema-conformant plain dict.
+
+        With ``include_timings=False``, wall-clock fields are dropped —
+        the deterministic view used for run-to-run comparison.
+        """
+        phases = [dict(p) for p in self.phases]
+        if not include_timings:
+            phases = [
+                {k: v for k, v in p.items() if k != "wall_s"} for p in phases
+            ]
+        return {
+            "schema_version": self.schema_version,
+            "kind": self.kind,
+            "name": self.name,
+            "device": self.device,
+            "seed": self.seed,
+            "parameters": _jsonable(self.parameters),
+            "phases": phases,
+            "headline": _jsonable(self.headline),
+            "metrics": _jsonable(self.metrics),
+        }
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the timing-free view.
+
+        Two runs with identical seeds and physics must produce equal
+        fingerprints; wall-clock jitter is excluded by construction.
+        """
+        canonical = json.dumps(self.to_dict(include_timings=False), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def validate(self) -> "RunManifest":
+        """Schema-check the manifest; returns self for chaining."""
+        validate_manifest(self.to_dict())
+        return self

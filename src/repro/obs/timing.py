@@ -1,0 +1,45 @@
+"""Wall-clock section timers for manifest phase accounting.
+
+Wall-clock time is the one observability input that is *not*
+deterministic, so it is quarantined here: phase durations land in
+manifests under ``wall_s`` keys, and
+:meth:`~repro.obs.manifest.RunManifest.fingerprint` excludes them when
+comparing runs.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class SectionTimer:
+    """Accumulates named, ordered wall-clock sections."""
+
+    def __init__(self) -> None:
+        self._sections: list[tuple[str, float]] = []
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        """Time the enclosed block and record it under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._sections.append((name, time.perf_counter() - start))
+
+    def add(self, name: str, wall_s: float) -> None:
+        """Record an externally measured section."""
+        self._sections.append((name, float(wall_s)))
+
+    def phases(self) -> list[dict[str, object]]:
+        """The sections in manifest-phase shape."""
+        return [
+            {"name": name, "wall_s": wall_s} for name, wall_s in self._sections
+        ]
+
+    @property
+    def total_s(self) -> float:
+        """Sum of all recorded section durations."""
+        return sum(wall_s for _, wall_s in self._sections)

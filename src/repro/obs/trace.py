@@ -1,0 +1,134 @@
+"""Attack-step tracing: spans and events.
+
+A :class:`Span` covers one step of a pipeline (e.g. the four §6.1 Volt
+Boot steps); an *event* is a point-in-time record (e.g. a power-rail
+transition).  Events emitted while a span is open are attached to that
+span, so a trace reader can see exactly which power-timeline activity
+happened inside, say, ``attack.power-cycle``.
+
+Spans carry both wall-clock duration (profiling) and, where the caller
+provides it, simulated time (physics).  Records stream to a JSONL sink
+as they close, so a crashed run still leaves a usable trace prefix.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Protocol
+
+
+class TraceSink(Protocol):
+    """Where finished span/event records go (see ``export.JsonlWriter``)."""
+
+    def write(self, record: dict[str, Any]) -> None: ...
+
+
+@dataclass
+class Span:
+    """One traced step: a named interval with attributes and child events."""
+
+    name: str
+    attributes: dict[str, Any] = field(default_factory=dict)
+    events: list[dict[str, Any]] = field(default_factory=list)
+    status: str = "ok"
+    wall_s: float = 0.0
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach or overwrite one attribute."""
+        self.attributes[key] = value
+
+    def set_attributes(self, **attributes: Any) -> None:
+        """Attach several attributes at once."""
+        self.attributes.update(attributes)
+
+    def add_event(self, name: str, **attributes: Any) -> None:
+        """Attach a point-in-time child event to this span."""
+        self.events.append({"name": name, **attributes})
+
+    def to_record(self) -> dict[str, Any]:
+        """The JSONL representation of the finished span."""
+        return {
+            "type": "span",
+            "name": self.name,
+            "status": self.status,
+            "wall_s": self.wall_s,
+            "attributes": dict(self.attributes),
+            "events": list(self.events),
+        }
+
+
+class _NullSpan:
+    """Do-nothing span handed out when tracing is disabled."""
+
+    __slots__ = ()
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def set_attributes(self, **attributes: Any) -> None:
+        pass
+
+    def add_event(self, name: str, **attributes: Any) -> None:
+        pass
+
+
+#: Shared null span — zero allocation on the disabled path.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Span lifecycle manager writing finished records to a sink.
+
+    The tracer keeps a stack of open spans; :meth:`event` records attach
+    to the innermost open span (and stream to the sink immediately,
+    stamped with the span they belong to).
+    """
+
+    def __init__(self, sink: TraceSink | None = None) -> None:
+        self.sink = sink
+        self._stack: list[Span] = []
+        self.finished: list[Span] = []
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Open a span for the enclosed block."""
+        span = Span(name=name, attributes=dict(attributes))
+        self._stack.append(span)
+        start = time.perf_counter()
+        try:
+            yield span
+        except BaseException:
+            span.status = "error"
+            raise
+        finally:
+            span.wall_s = time.perf_counter() - start
+            self._stack.pop()
+            self.finished.append(span)
+            if self.sink is not None:
+                self.sink.write(span.to_record())
+
+    def event(self, name: str, **attributes: Any) -> None:
+        """Record a point-in-time event, attached to the open span."""
+        parent = self.current
+        if parent is not None:
+            parent.add_event(name, **attributes)
+        if self.sink is not None:
+            self.sink.write(
+                {
+                    "type": "event",
+                    "name": name,
+                    "span": parent.name if parent else None,
+                    "attributes": dict(attributes),
+                }
+            )
+
+    def spans_named(self, name: str) -> list[Span]:
+        """Finished spans with the given name (test/report helper)."""
+        return [s for s in self.finished if s.name == name]

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Protocol, runtime_checkable
 
 from ..errors import PowerError
+from ..obs import OBS
 from .events import PowerEventKind, PowerEventLog
 
 
@@ -119,6 +120,13 @@ class PowerDomain:
         self.log.record(
             PowerEventKind.DOMAIN_POWERED, self.name, f"{voltage:.3f}V"
         )
+        if OBS.enabled:
+            OBS.gauge_set("power.domain.voltage_v", voltage, domain=self.name)
+            for load_name, fraction in retained.items():
+                OBS.histogram_record(
+                    "power.domain.retained_fraction", fraction,
+                    domain=self.name, load=load_name,
+                )
         return retained
 
     def cut_power(self) -> None:
@@ -131,6 +139,8 @@ class PowerDomain:
         self._held_externally = False
         self._voltage = 0.0
         self.log.record(PowerEventKind.DOMAIN_UNPOWERED, self.name)
+        if OBS.enabled:
+            OBS.gauge_set("power.domain.voltage_v", 0.0, domain=self.name)
 
     def hold_external(self, voltage: float, surge_minimum_v: float) -> int:
         """Keep the rail alive from a probe through a main-supply cut.
@@ -143,6 +153,7 @@ class PowerDomain:
             raise PowerError(
                 f"{self.name}: cannot hold a rail that is already dark"
             )
+        droop_depth_v = self._voltage - surge_minimum_v
         lost = 0
         for load in self._loads:
             lost += load.apply_voltage_transient(surge_minimum_v)
@@ -154,6 +165,17 @@ class PowerDomain:
             self.name,
             f"{voltage:.3f}V, surge floor {surge_minimum_v:.3f}V, {lost} cells lost",
         )
+        if OBS.enabled:
+            OBS.counter_inc(
+                "power.cells_lost_surge", lost, domain=self.name
+            )
+            OBS.gauge_set(
+                "power.domain.surge_floor_v", surge_minimum_v, domain=self.name
+            )
+            OBS.gauge_set(
+                "power.domain.droop_depth_v", droop_depth_v, domain=self.name
+            )
+            OBS.gauge_set("power.domain.voltage_v", voltage, domain=self.name)
         return lost
 
     def release_external_hold(self, pmic_voltage: float) -> None:
@@ -200,6 +222,9 @@ class PowerDomain:
             self.name,
             f"DVFS to {voltage:.3f}V, {lost} cells lost",
         )
+        if OBS.enabled:
+            OBS.counter_inc("power.cells_lost_dvfs", lost, domain=self.name)
+            OBS.gauge_set("power.domain.voltage_v", voltage, domain=self.name)
         return lost
 
     def leakage_power_fraction(self) -> float:

@@ -12,6 +12,7 @@ import enum
 from dataclasses import dataclass, field
 
 from ..errors import PowerError
+from ..obs import OBS
 
 
 class SimClock:
@@ -76,6 +77,8 @@ class PowerEventLog:
         """Append an event stamped with the current simulated time."""
         event = PowerEvent(self.clock.now, kind, subject, detail)
         self.events.append(event)
+        if OBS.enabled:
+            OBS.power_event(event)
         return event
 
     def of_kind(self, kind: PowerEventKind) -> list[PowerEvent]:

@@ -41,8 +41,10 @@ class Board:
         main_memory: MainMemory,
         seeds: SeedSequenceFactory,
         log: PowerEventLog,
+        root_seed: int | None = None,
     ) -> None:
         self.name = name
+        self._root_seed = root_seed
         self.soc = soc
         self.pmic = pmic
         self.pdn = pdn
@@ -57,6 +59,17 @@ class Board:
     # ------------------------------------------------------------------
     # Environment
     # ------------------------------------------------------------------
+
+    @property
+    def seed_root(self) -> int:
+        """The root seed this board's randomness derives from.
+
+        Builders pass the caller's original seed; a hand-assembled board
+        falls back to its seed factory's root.
+        """
+        if self._root_seed is not None:
+            return self._root_seed
+        return self._seeds.root
 
     @property
     def temperature_c(self) -> float:

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import AuthenticatedBootError, BootError
+from ..obs import OBS
 from .iram import Iram
 
 
@@ -105,6 +106,16 @@ class BootRom:
             junk = rng.integers(0, 256, region.size, dtype=np.uint8).tobytes()
             iram.write_block(iram.base_addr + region.start, junk)
             clobbered += region.size
+        if OBS.enabled and clobbered:
+            OBS.counter_inc(
+                "bootrom.bytes_clobbered", clobbered, rom=self.name
+            )
+            OBS.event(
+                "bootrom.scratchpad",
+                rom=self.name,
+                bytes_clobbered=clobbered,
+                regions=len(self.scratchpad_regions),
+            )
         return clobbered
 
     def clobbered_fraction(self, iram: Iram | None) -> float:

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..errors import CalibrationError, CircuitError, MemoryMapError
 from ..circuits.sram import SramArray, SramParameters
+from ..obs import OBS
 
 
 class BackingStore(Protocol):
@@ -384,11 +385,15 @@ class SetAssociativeCache:
             self.evictions += 1
         elif valid:
             self.evictions += 1
+        if valid and OBS.enabled:
+            OBS.counter_inc("cache.evictions", 1, cache=self.name)
         line_addr = self.geometry.line_base(addr)
         self._write_line(way, index, self.backing.read_block(
             line_addr, self.geometry.line_bytes
         ))
         self.tags.write(entry, tag, valid=True, dirty=False, ns=ns)
+        if OBS.enabled:
+            OBS.counter_inc("cache.line_fills", 1, cache=self.name)
         return way
 
     def _reconstruct_addr(self, tag: int, index: int) -> int:
@@ -467,6 +472,8 @@ class SetAssociativeCache:
             self.tags.set_flags(self._entry(index, way), dirty=True)
         self._write_line(way, index, bytes(self.geometry.line_bytes))
         self._touch(index, way)
+        if OBS.enabled:
+            OBS.counter_inc("cache.lines_zeroed", 1, cache=self.name)
 
     def zero_all_lines(self, base_addr: int = 0) -> None:
         """Zero the entire data RAM with a DC ZVA sweep.

@@ -1,0 +1,104 @@
+"""Tests for the experiment victim-preparation helpers."""
+
+from repro import obs
+from repro.experiments.common import (
+    VICTIM_MEDIA,
+    fill_dcache,
+    victim_buffer_base,
+    victim_code_base,
+)
+from repro.devices import raspberry_pi_4
+
+
+def _dcache(board, core_index=0):
+    return board.soc.core(core_index).l1d
+
+
+class TestFillDcache:
+    def test_touches_every_set_and_way(self):
+        board = raspberry_pi_4(seed=31)
+        board.boot(VICTIM_MEDIA)
+        written = fill_dcache(board, 0)
+        cache = _dcache(board)
+        geometry = cache.geometry
+        assert written == geometry.size_bytes
+        for index in range(geometry.sets):
+            for way in range(geometry.ways):
+                _, valid, _, _ = cache.raw_tag_entry(index, way)
+                assert valid, f"set {index} way {way} left unfilled"
+
+    def test_fresh_fill_causes_no_evictions(self):
+        board = raspberry_pi_4(seed=32)
+        board.boot(VICTIM_MEDIA)
+        with obs.capture() as o:
+            fill_dcache(board, 0)
+            cache = _dcache(board)
+            evicted = o.metrics.counter("cache.evictions", cache=cache.name)
+            fills = o.metrics.counter("cache.line_fills", cache=cache.name)
+            assert evicted.value == 0
+            assert fills.value == cache.geometry.sets * cache.geometry.ways
+
+    def test_refill_at_new_base_evicts_every_line(self):
+        board = raspberry_pi_4(seed=33)
+        board.boot(VICTIM_MEDIA)
+        fill_dcache(board, 0)
+        cache = _dcache(board)
+        lines = cache.geometry.sets * cache.geometry.ways
+        with obs.capture() as o:
+            # A second whole-cache streaming write from a distant base
+            # must displace every previously-resident line exactly once.
+            line = cache.geometry.line_bytes
+            base = victim_buffer_base(2)  # far from core 0's buffer
+            payload = b"\x55" * line
+            for offset in range(0, cache.geometry.size_bytes, line):
+                cache.write(base + offset, payload)
+            evicted = o.metrics.counter("cache.evictions", cache=cache.name)
+            assert evicted.value == lines
+
+    def test_pattern_lands_in_data_ram(self):
+        board = raspberry_pi_4(seed=34)
+        board.boot(VICTIM_MEDIA)
+        fill_dcache(board, 0, pattern=0x5A)
+        cache = _dcache(board)
+        image = b"".join(
+            cache.raw_way_image(way) for way in range(cache.geometry.ways)
+        )
+        assert image.count(0x5A) == len(image)
+
+
+class TestVictimAddresses:
+    def test_buffers_never_alias_across_cores(self):
+        board = raspberry_pi_4(seed=35)
+        cache = _dcache(board)
+        span = cache.geometry.size_bytes
+        ranges = [
+            range(victim_buffer_base(core), victim_buffer_base(core) + span)
+            for core in range(len(board.soc.cores))
+        ]
+        for i, a in enumerate(ranges):
+            for b in ranges[i + 1 :]:
+                assert a.stop <= b.start or b.stop <= a.start, (
+                    f"victim buffers overlap: {a} vs {b}"
+                )
+
+    def test_code_never_aliases_buffers_or_other_code(self):
+        from repro.experiments.common import CODE_STRIDE
+
+        board = raspberry_pi_4(seed=36)
+        n_cores = len(board.soc.cores)
+        code = [
+            range(victim_code_base(core), victim_code_base(core) + CODE_STRIDE)
+            for core in range(n_cores)
+        ]
+        data_start = min(victim_buffer_base(core) for core in range(n_cores))
+        for i, a in enumerate(code):
+            assert a.stop <= data_start, "victim code runs into data buffers"
+            for b in code[i + 1 :]:
+                assert a.stop <= b.start or b.stop <= a.start
+
+    def test_bases_are_line_aligned(self):
+        board = raspberry_pi_4(seed=37)
+        line = _dcache(board).geometry.line_bytes
+        for core in range(len(board.soc.cores)):
+            assert victim_buffer_base(core) % line == 0
+            assert victim_code_base(core) % line == 0

@@ -1,0 +1,81 @@
+"""Unit tests for the metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestCounter:
+    def test_increments_accumulate(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(4)
+        assert registry.counter("hits").value == 5
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("hits").inc(-1)
+
+    def test_labels_separate_series(self):
+        registry = MetricsRegistry()
+        registry.counter("evictions", cache="l1d.c0").inc(3)
+        registry.counter("evictions", cache="l1d.c1").inc(7)
+        assert registry.counter("evictions", cache="l1d.c0").value == 3
+        assert registry.counter_total("evictions") == 10
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        registry.counter("x", a="1", b="2").inc()
+        registry.counter("x", b="2", a="1").inc()
+        assert registry.counter("x", a="1", b="2").value == 2
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("voltage").set(1.1)
+        registry.gauge("voltage").set(0.0)
+        gauge = registry.gauge("voltage")
+        assert gauge.value == 0.0
+        assert gauge.updates == 2
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("retained")
+        for value in (0.5, 1.0, 0.75):
+            hist.record(value)
+        summary = hist.summary()
+        assert summary["count"] == 3
+        assert summary["min"] == 0.5
+        assert summary["max"] == 1.0
+        assert summary["mean"] == pytest.approx(0.75)
+
+    def test_empty_summary_is_zeroed(self):
+        hist = MetricsRegistry().histogram("empty")
+        assert hist.summary() == {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0}
+
+
+class TestSnapshot:
+    def test_rendered_names_carry_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("power.events", kind="boot").inc(2)
+        registry.gauge("sram.tau_s").set(42.0)
+        snap = registry.snapshot()
+        assert snap["power.events{kind=boot}"] == 2
+        assert snap["sram.tau_s"] == 42.0
+
+    def test_prefix_filters(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.evictions").inc()
+        registry.counter("power.events").inc()
+        snap = registry.snapshot("cache.")
+        assert list(snap) == ["cache.evictions"]
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.reset()
+        assert registry.snapshot() == {}

@@ -1,0 +1,78 @@
+"""The process-global OBS registry: null-sink default, capture lifecycle."""
+
+import pytest
+
+from repro import obs
+from repro.obs import OBS, RunManifest
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    OBS.reset()
+    yield
+    OBS.reset()
+
+
+class TestDisabledDefault:
+    def test_starts_disabled(self):
+        assert OBS.enabled is False
+
+    def test_disabled_hooks_collect_nothing(self):
+        with OBS.span("attack.identify") as span:
+            span.set_attribute("target", "l1-caches")
+        OBS.event("power.boot")
+        OBS.counter_inc("cache.evictions", 5)
+        OBS.gauge_set("sram.tau_s", 1.0)
+        OBS.histogram_record("sram.retained_fraction", 0.5)
+        OBS.record_manifest(RunManifest(kind="attack", name="x", seed=1))
+        assert OBS.tracer.finished == []
+        assert OBS.metrics.snapshot() == {}
+        assert OBS.last_manifest is None
+
+    def test_disabled_span_is_shared_object(self):
+        # The zero-cost guarantee: no per-call allocation when disabled.
+        assert OBS.span("a") is OBS.span("b")
+
+
+class TestConfigureReset:
+    def test_configure_enables_collection(self):
+        OBS.configure()
+        OBS.counter_inc("hits")
+        assert OBS.metrics.counter("hits").value == 1
+
+    def test_reset_disables_and_drops_state(self):
+        OBS.configure()
+        OBS.counter_inc("hits")
+        OBS.record_manifest(RunManifest(kind="attack", name="x", seed=1))
+        OBS.reset()
+        assert OBS.enabled is False
+        assert OBS.metrics.snapshot() == {}
+        assert OBS.last_manifest is None
+
+    def test_singleton_is_never_rebound(self):
+        before = obs.OBS
+        obs.OBS.configure()
+        obs.OBS.reset()
+        assert obs.OBS is before
+
+    def test_trace_streams_to_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        OBS.configure(trace_path=str(path))
+        with OBS.span("attack.extract", target="iram"):
+            OBS.event("power.note", subject="rpi4")
+        OBS.reset()
+        records = obs.read_jsonl(path)
+        assert records[0]["type"] == "header"
+        names = [(r["type"], r["name"]) for r in records[1:]]
+        assert ("event", "power.note") in names
+        assert ("span", "attack.extract") in names
+
+
+class TestCapture:
+    def test_capture_scopes_enablement(self):
+        with obs.capture() as o:
+            assert o.enabled
+            o.counter_inc("hits")
+            assert o.metrics.counter("hits").value == 1
+        assert OBS.enabled is False
+        assert OBS.metrics.snapshot() == {}

@@ -1,7 +1,10 @@
 """Command-line interface behaviour."""
 
+import json
+
 import pytest
 
+from repro import obs
 from repro.cli import EXPERIMENTS, main
 
 
@@ -44,7 +47,10 @@ class TestAttackCommand:
 
     def test_invalid_target_for_device(self, capsys):
         assert main(["attack", "--device", "imx53", "--target", "registers"]) == 2
-        assert "supports targets" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one-line error, not a traceback
+        assert "unknown target 'registers'" in err
+        assert "valid targets: iram" in err
 
     def test_registers_target(self, capsys):
         assert main(
@@ -59,9 +65,13 @@ class TestExperimentCommand:
         out = capsys.readouterr().out
         assert "Retention sweep" in out
 
-    def test_unknown_experiment_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["experiment", "no-such-thing"])
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["experiment", "no-such-thing"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one-line error, not a traceback
+        assert "unknown experiment 'no-such-thing'" in err
+        for name in EXPERIMENTS:
+            assert name in err  # the error lists every valid choice
 
     def test_registry_covers_every_module(self):
         from repro import experiments
@@ -72,3 +82,77 @@ class TestExperimentCommand:
             for name in experiments.__all__
         }
         assert registered == available
+
+
+class TestObservabilityFlags:
+    def test_attack_json_is_machine_readable(self, capsys):
+        assert main(
+            ["attack", "--device", "rpi4", "--seed", "5", "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema_version"] == obs.SCHEMA_VERSION
+        assert doc["command"] == "attack"
+        assert doc["recovered"] is True
+        assert doc["surge_clean"] is True
+        obs.validate_manifest(doc["manifest"])
+        assert doc["manifest"]["seed"] == 5
+        phase_names = [p["name"] for p in doc["manifest"]["phases"]]
+        assert phase_names == [
+            "identify", "attach", "power-cycle", "reboot", "extract"
+        ]
+
+    def test_attack_trace_writes_section_spans(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            ["attack", "--device", "rpi4", "--seed", "5",
+             "--trace", str(trace)]
+        ) == 0
+        capsys.readouterr()  # human output unaffected by --trace
+        records = obs.read_jsonl(trace)
+        assert records[0]["type"] == "header"
+        spans = {r["name"] for r in records if r["type"] == "span"}
+        for step in ("identify", "attach", "power-cycle", "reboot", "extract"):
+            assert f"attack.{step}" in spans
+        power_cycle = next(
+            r for r in records
+            if r["type"] == "span" and r["name"] == "attack.power-cycle"
+        )
+        event_names = {e["name"] for e in power_cycle["events"]}
+        assert "power.input-disconnected" in event_names
+        assert "power.domain-held" in event_names
+
+    def test_attack_metrics_appends_table(self, capsys):
+        assert main(
+            ["attack", "--device", "rpi4", "--seed", "5", "--metrics"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Observability metrics" in out
+        assert "power.events" in out
+
+    def test_observability_resets_after_run(self, capsys):
+        assert main(["attack", "--device", "rpi4", "--seed", "5", "--json"]) == 0
+        capsys.readouterr()
+        assert obs.OBS.enabled is False
+        assert obs.OBS.last_manifest is None
+
+    def test_unwritable_trace_path_is_a_one_line_error(self, capsys, tmp_path):
+        bogus = tmp_path / "no-such-dir" / "trace.jsonl"
+        assert main(
+            ["attack", "--device", "rpi4", "--trace", str(bogus)]
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "cannot open trace file" in err
+        assert obs.OBS.enabled is False
+
+    def test_experiment_json_carries_report_and_manifest(self, capsys):
+        assert main(
+            ["experiment", "retention-sweep", "--seed", "9", "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["command"] == "experiment"
+        assert doc["report"]["rows"]
+        obs.validate_manifest(doc["manifest"])
+        assert doc["manifest"]["kind"] == "experiment"
+        assert doc["manifest"]["name"] == "retention-sweep"
+        assert doc["manifest"]["seed"] == 9
