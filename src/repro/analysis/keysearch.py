@@ -37,7 +37,7 @@ class KeyScheduleHit:
     @property
     def exact(self) -> bool:
         """Whether the observed window matched the expansion perfectly."""
-        return self.fraction_errors == 0.0
+        return self.fraction_errors <= 0.0
 
 
 def search_aes128_schedules(
@@ -69,7 +69,7 @@ def search_aes128_schedules(
         window = image[offset : offset + AES128_SCHEDULE_BYTES]
         key = window[:16]
         expected = schedule_bytes(key)
-        if max_fraction_errors == 0.0:
+        if max_fraction_errors <= 0.0:
             if window == expected:
                 hits.append(KeyScheduleHit(offset, key, 0.0))
             continue

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..circuits.sram import SramArray
 from ..errors import ReproError
+from ..rng import from_entropy
 
 
 @dataclass(frozen=True)
@@ -105,8 +106,8 @@ def imprint_recovery_accuracy(
     samples: int = 25,
 ) -> ImprintingResult:
     """Age a fresh array holding random data, then attack it."""
-    rng = np.random.default_rng(seed)
-    array = SramArray(n_bits, rng=np.random.default_rng(seed + 1))
+    rng = from_entropy(seed)
+    array = SramArray(n_bits, rng=from_entropy(seed + 1))
     array.power_up()
     data = rng.integers(0, 2, n_bits, dtype=np.uint8)
     array.write_bits(0, data)

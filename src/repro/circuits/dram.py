@@ -25,7 +25,8 @@ import numpy as np
 
 from ..errors import CalibrationError, CircuitError
 from ..obs import OBS
-from ..units import ROOM_TEMPERATURE_K
+from ..rng import from_entropy
+from ..units import ROOM_TEMPERATURE_K, milliseconds
 from .leakage import ArrheniusDecay, DRAM_DECAY
 
 
@@ -47,7 +48,7 @@ class DramParameters:
         Arrhenius decay of cell charge.
     """
 
-    refresh_interval_s: float = 0.064
+    refresh_interval_s: float = milliseconds(64)
     retention_spread: float = 0.4
     anticell_fraction: float = 0.5
     decay: ArrheniusDecay = field(default=DRAM_DECAY)
@@ -80,7 +81,7 @@ class DramArray:
             raise CalibrationError("DRAM size must be a positive byte multiple")
         self.name = name
         self.params = params or DramParameters()
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._rng = rng if rng is not None else from_entropy(0)
         self._n_bits = int(n_bits)
         self._anticell = self._rng.random(self._n_bits) < self.params.anticell_fraction
         # Per-cell retention multiplier (lognormal around 1.0); float16

@@ -31,7 +31,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import CalibrationError
-from ..units import celsius_to_kelvin
+from ..units import celsius_to_kelvin, nanoseconds
 
 
 @dataclass(frozen=True)
@@ -87,7 +87,11 @@ class ArrheniusDecay:
 
 
 #: SRAM storage-node decay, calibrated per DESIGN.md.
-SRAM_DECAY = ArrheniusDecay(prefactor_s=2.0e-8, activation_k=2145.0, name="sram-6t")
+SRAM_DECAY = ArrheniusDecay(
+    prefactor_s=nanoseconds(20.0), activation_k=2145.0, name="sram-6t"
+)
 
 #: DRAM capacitor decay, calibrated per DESIGN.md.
-DRAM_DECAY = ArrheniusDecay(prefactor_s=1.15e-7, activation_k=5000.0, name="dram-1t1c")
+DRAM_DECAY = ArrheniusDecay(
+    prefactor_s=nanoseconds(115.0), activation_k=5000.0, name="dram-1t1c"
+)

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import CalibrationError
+from ..units import microseconds, milliamps, milliohms
 
 
 @dataclass(frozen=True)
@@ -33,7 +34,7 @@ class SupplyLineParasitics:
     parasitics; they set how violently the rail reacts to current steps.
     """
 
-    resistance_ohm: float = 0.01
+    resistance_ohm: float = milliohms(10)
     inductance_h: float = 5e-9
 
     def __post_init__(self) -> None:
@@ -64,7 +65,7 @@ class DecouplingNetwork:
     """
 
     capacitance_f: float = 100e-6
-    esr_ohm: float = 0.005
+    esr_ohm: float = milliohms(5)
 
     def __post_init__(self) -> None:
         if self.capacitance_f <= 0.0:
@@ -102,8 +103,8 @@ class DisconnectSurge:
     """
 
     peak_current_a: float = 2.0
-    duration_s: float = 5e-6
-    settle_current_a: float = 0.008
+    duration_s: float = microseconds(5)
+    settle_current_a: float = milliamps(8)
 
     def __post_init__(self) -> None:
         if self.peak_current_a < 0.0 or self.settle_current_a < 0.0:

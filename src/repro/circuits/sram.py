@@ -37,7 +37,8 @@ import numpy as np
 
 from ..errors import CalibrationError, CircuitError
 from ..obs import OBS
-from ..units import ROOM_TEMPERATURE_K
+from ..rng import from_entropy
+from ..units import ROOM_TEMPERATURE_K, millivolts
 from .leakage import ArrheniusDecay, SRAM_DECAY
 
 
@@ -66,9 +67,9 @@ class SramParameters:
 
     nominal_v: float = 0.8
     drv_mean_v: float = 0.25
-    drv_sigma_v: float = 0.03
+    drv_sigma_v: float = millivolts(30)
     restore_mean_v: float = 0.10
-    restore_sigma_v: float = 0.02
+    restore_sigma_v: float = millivolts(20)
     noisy_fraction: float = 0.20
     decay: ArrheniusDecay = field(default=SRAM_DECAY)
 
@@ -120,7 +121,7 @@ class SramArray:
             raise CalibrationError("array size must be a whole number of bytes")
         self.name = name
         self.params = params or SramParameters()
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._rng = rng if rng is not None else from_entropy(0)
         self._n_bits = int(n_bits)
 
         # Process variation, fixed at manufacture time.  Stored as float16

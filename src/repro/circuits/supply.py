@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import CalibrationError, ProbeError
+from ..units import milliohms
 from .passives import DecouplingNetwork, DisconnectSurge, SupplyLineParasitics
 
 
@@ -32,7 +33,7 @@ class BenchSupply:
 
     voltage_v: float
     current_limit_a: float = 3.0
-    source_resistance_ohm: float = 0.05
+    source_resistance_ohm: float = milliohms(50)
 
     def __post_init__(self) -> None:
         if self.voltage_v <= 0.0:

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import CalibrationError
+from ..units import microseconds
 from .passives import DecouplingNetwork, DisconnectSurge, SupplyLineParasitics
 from .supply import BenchSupply
 
@@ -61,8 +62,8 @@ def disconnect_waveform(
     surge: DisconnectSurge,
     decoupling: DecouplingNetwork,
     parasitics: SupplyLineParasitics | None = None,
-    pre_window_s: float = 20e-6,
-    post_window_s: float = 200e-6,
+    pre_window_s: float = microseconds(20),
+    post_window_s: float = microseconds(200),
     samples: int = 2048,
 ) -> RailWaveform:
     """Reconstruct the probed rail's V(t) around the main-supply cut.

@@ -332,4 +332,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     return 2  # pragma: no cover - argparse enforces the choices

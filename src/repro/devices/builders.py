@@ -28,7 +28,7 @@ from ..soc.bootrom import BootRom, ClobberRegion
 from ..soc.cache import CacheGeometry
 from ..soc.memory_map import MainMemory, MemoryMap
 from ..soc.soc import DomainSpec, Soc, SocConfig
-from ..units import kib
+from ..units import kib, microfarads, microseconds, milliamps
 
 #: Simulated main-memory size.  Real boards carry gigabytes; the
 #: workloads of the paper (cache-sized arrays, small binaries) need far
@@ -37,19 +37,19 @@ DRAM_BYTES = kib(512)
 
 #: Surge profile of a rail feeding a hungry CPU cluster (paper §6: the
 #: cores momentarily draw their supply from the probe on disconnect).
-CORE_SURGE = DisconnectSurge(peak_current_a=2.0, duration_s=20e-6,
-                             settle_current_a=0.008)
+CORE_SURGE = DisconnectSurge(peak_current_a=2.0, duration_s=microseconds(20),
+                             settle_current_a=milliamps(8))
 
 #: Surge profile of a memory-only rail (the i.MX53's iRAM domain does not
 #: feed the CPU — the core draws through VCCGP instead).
-MEMORY_SURGE = DisconnectSurge(peak_current_a=0.25, duration_s=20e-6,
-                               settle_current_a=0.002)
+MEMORY_SURGE = DisconnectSurge(peak_current_a=0.25, duration_s=microseconds(20),
+                               settle_current_a=milliamps(2))
 
 #: Aggregate decoupling on a core rail.  47 uF holds the rail through a
 #: 20 us surge only when the probe covers most of the current — an
 #: under-sized probe lets the rail dip below cell DRVs (the probe-sweep
 #: ablation).
-CORE_DECOUPLING_F = 47e-6
+CORE_DECOUPLING_F = microfarads(47)
 
 
 def _finish_board(

@@ -64,3 +64,15 @@ class AttackError(ReproError):
 
 class CalibrationError(ReproError):
     """A physics model was configured with non-physical parameters."""
+
+
+class ObservabilityError(ReproError):
+    """The observability plumbing was misused (e.g. a counter decrement)."""
+
+
+class LintError(ReproError):
+    """``repro-lint`` could not run (unreadable input, bad rule id, ...)."""
+
+
+class LintConfigError(LintError):
+    """The ``[tool.repro-lint]`` configuration is malformed."""

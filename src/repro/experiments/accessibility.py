@@ -22,7 +22,7 @@ from ..core.report import AttackReport
 from ..core.voltboot import VoltBootAttack
 from ..devices import imx53_qsb, raspberry_pi_4
 from ..devices.builders import IMX53_IRAM_BASE, IMX53_IRAM_SIZE
-from ..rng import DEFAULT_SEED
+from ..rng import DEFAULT_SEED, from_entropy
 from ..soc.jtag import JtagProbe
 from .common import ATTACKER_MEDIA, VICTIM_MEDIA, fill_dcache, snapshot_l1d
 from .common import manifested
@@ -97,7 +97,7 @@ def _iram_availability(seed: int) -> AccessibilityRow:
     board = imx53_qsb(seed=seed)
     board.boot()
     jtag = JtagProbe(board.soc.memory_map)
-    rng = np.random.default_rng(seed)
+    rng = from_entropy(seed)
     stored = rng.integers(0, 256, IMX53_IRAM_SIZE, dtype=np.uint8).tobytes()
     jtag.write_block(IMX53_IRAM_BASE, stored)
     attack = VoltBootAttack(board, target="iram")

@@ -15,6 +15,7 @@ from ..core.coldboot import ColdBootAttack
 from ..core.report import AttackReport
 from ..devices import raspberry_pi_4
 from ..rng import DEFAULT_SEED
+from ..units import milliseconds
 from .common import ATTACKER_MEDIA, VICTIM_MEDIA, fill_dcache
 from .common import manifested
 
@@ -51,7 +52,7 @@ def run(seed: int = DEFAULT_SEED, temperature_c: float = -40.0) -> Figure3Result
     attack = ColdBootAttack(
         board,
         temperature_c=temperature_c,
-        off_time_s=0.004,
+        off_time_s=milliseconds(4),
         boot_media=ATTACKER_MEDIA,
     )
     result = attack.execute()

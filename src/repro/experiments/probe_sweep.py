@@ -31,11 +31,12 @@ from ..core.voltboot import VoltBootAttack
 from ..devices import raspberry_pi_4
 from ..errors import ProbeError
 from ..rng import DEFAULT_SEED, generator
+from ..units import milliamps
 from .common import ATTACKER_MEDIA, VICTIM_MEDIA, fill_dcache, snapshot_l1d
 from .common import manifested
 
 #: Current limits swept at nominal voltage (amps).
-CURRENT_LIMITS_A = (0.05, 0.25, 0.5, 1.0, 3.0)
+CURRENT_LIMITS_A = (milliamps(50), 0.25, 0.5, 1.0, 3.0)
 
 #: Hold voltages swept at cell level (volts; nominal is 0.8).
 HOLD_VOLTAGES_V = (0.10, 0.18, 0.25, 0.32, 0.40, 0.80)

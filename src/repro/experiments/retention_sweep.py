@@ -21,7 +21,7 @@ from ..circuits.dram import DramArray
 from ..circuits.sram import SramArray
 from ..core.report import AttackReport
 from ..rng import DEFAULT_SEED, generator
-from ..units import celsius_to_kelvin
+from ..units import celsius_to_kelvin, microseconds, milliseconds
 from .common import manifested
 
 #: Temperature axis (degrees C): room, chamber cold, cold boot classic,
@@ -29,7 +29,9 @@ from .common import manifested
 SWEEP_TEMPERATURES_C = (25.0, -40.0, -50.0, -110.0)
 
 #: Off-time axis (seconds): instruction-scale to human battery pull.
-SWEEP_OFF_TIMES_S = (20e-6, 1e-3, 20e-3, 0.5)
+SWEEP_OFF_TIMES_S = (
+    microseconds(20), milliseconds(1), milliseconds(20), 0.5
+)
 
 #: Array size used for the statistical sweep.
 SWEEP_BITS = 64 * 1024

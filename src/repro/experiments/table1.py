@@ -17,6 +17,7 @@ from ..core.coldboot import ColdBootAttack
 from ..core.report import AttackReport
 from ..devices import raspberry_pi_4
 from ..rng import DEFAULT_SEED
+from ..units import milliseconds
 from .common import ATTACKER_MEDIA, VICTIM_MEDIA, fill_dcache, snapshot_l1d
 from .common import manifested
 
@@ -25,7 +26,7 @@ from .common import manifested
 TABLE1_TEMPERATURES_C = (0.0, -5.0, -40.0)
 
 #: How long the power stays cut ("a few milliseconds").
-OFF_TIME_S = 0.004
+OFF_TIME_S = milliseconds(4)
 
 
 @dataclass

@@ -1,0 +1,46 @@
+"""``repro.lint`` — AST-based static analysis for the reproduction.
+
+The simulation's credibility rests on invariants Python cannot enforce
+at runtime: all entropy derives from one seed (RL001), quantities stay
+in SI units (RL002), failures surface through the ``ReproError``
+taxonomy (RL003), physics paths never compare floats exactly (RL004),
+and observability names come from one taxonomy (RL005).  This package
+checks them statically, with a pluggable rule framework, a
+``repro-lint`` console script, per-line ``# repro-lint: ignore[RULE]``
+suppressions, and ``[tool.repro-lint]`` configuration.
+
+Library use::
+
+    from repro.lint import lint_paths
+
+    findings = lint_paths(["src"])   # [] on a clean tree
+"""
+
+from __future__ import annotations
+
+from .config import LintConfig, load_config
+from .engine import (
+    PARSE_ERROR_RULE,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from .findings import Finding
+from .rules import FileContext, Rule, all_rules, register, select_rules
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "LintConfig",
+    "PARSE_ERROR_RULE",
+    "Rule",
+    "all_rules",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "register",
+    "select_rules",
+]

@@ -1,0 +1,123 @@
+"""The ``repro-lint`` console script.
+
+Exit codes follow the PR 1 CLI convention: 0 for a clean tree, 1 when
+findings are reported, 2 for usage/configuration/IO failures — the
+latter always as a one-line error on stderr, never a traceback.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from ..errors import LintError
+from .config import LintConfig, load_config
+from .engine import iter_python_files, lint_file
+from .rules import all_rules, select_rules
+
+#: Version of the ``--format json`` document layout.
+JSON_SCHEMA_VERSION = 1
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based checks for the simulation's physics, determinism "
+            "and error contracts"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: [tool.repro-lint] "
+        "paths, else src/)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rule", action="append", default=[], metavar="ID",
+        help="run only this rule (repeatable; default: all rules)",
+    )
+    parser.add_argument(
+        "--exclude", action="append", default=[], metavar="GLOB",
+        help="skip files matching this glob (repeatable)",
+    )
+    parser.add_argument(
+        "--config", metavar="FILE", default=None,
+        help="pyproject.toml to read [tool.repro-lint] from "
+        "(default: discovered from the working directory)",
+    )
+    parser.add_argument(
+        "--no-config", action="store_true",
+        help="ignore any [tool.repro-lint] configuration",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _list_rules() -> int:
+    for rule in all_rules():
+        print(f"{rule.id}  {rule.name}: {rule.description}")
+    return 0
+
+
+def _default_paths(config: LintConfig) -> tuple[str, ...]:
+    if config.paths:
+        return config.paths
+    if Path("src").is_dir():
+        return ("src",)
+    return (".",)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``repro-lint``; returns the exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        return _list_rules()
+    try:
+        if args.no_config:
+            config = LintConfig()
+        else:
+            explicit = Path(args.config) if args.config else None
+            config = load_config(explicit)
+        select = tuple(args.rule) or config.select or None
+        exclude = (*args.exclude, *config.exclude)
+        rules = select_rules(select)
+        files = iter_python_files(args.paths or _default_paths(config), exclude)
+        findings = []
+        for path in files:
+            findings.extend(lint_file(path, rules))
+    except LintError as error:
+        print(f"repro-lint: error: {error}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        document = {
+            "schema_version": JSON_SCHEMA_VERSION,
+            "checked": len(files),
+            "findings": [finding.to_dict() for finding in findings],
+        }
+        print(json.dumps(document, indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        summary = (
+            f"repro-lint: {len(findings)} finding(s) in "
+            f"{len(files)} file(s) checked"
+            if findings
+            else f"repro-lint: clean ({len(files)} file(s) checked)"
+        )
+        print(summary, file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    raise SystemExit(main())

@@ -1,0 +1,100 @@
+"""``[tool.repro-lint]`` configuration in ``pyproject.toml``.
+
+Three keys, all optional, all lists of strings:
+
+* ``paths`` — what to lint when the CLI gets no path arguments;
+* ``select`` — default rule ids (all rules when empty);
+* ``exclude`` — glob patterns for files to skip.
+
+Discovery walks up from the working directory; a malformed table raises
+:class:`~repro.errors.LintConfigError`, which the CLI turns into a
+one-line error and exit code 2.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import LintConfigError
+
+_SECTION = ("tool", "repro-lint")
+_KEYS = ("paths", "select", "exclude")
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Resolved lint configuration (CLI defaults)."""
+
+    paths: tuple[str, ...] = ()
+    select: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = ()
+    source: Path | None = None
+
+
+def find_pyproject(start: Path | None = None) -> Path | None:
+    """The nearest ``pyproject.toml`` at or above ``start`` (cwd)."""
+    directory = (start or Path.cwd()).resolve()
+    for candidate in (directory, *directory.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def _string_tuple(value: object, key: str, source: Path) -> tuple[str, ...]:
+    if isinstance(value, str):
+        return (value,)
+    if isinstance(value, list) and all(isinstance(v, str) for v in value):
+        return tuple(value)
+    raise LintConfigError(
+        f"{source}: [tool.repro-lint] key {key!r} must be a string or "
+        "list of strings"
+    )
+
+
+def load_config(pyproject: Path | None = None) -> LintConfig:
+    """Load the lint configuration from ``pyproject`` (or discover it).
+
+    A missing file or missing table yields the empty defaults; a file
+    that cannot be read or parsed, or a table with unknown keys or wrong
+    types, raises :class:`LintConfigError`.
+    """
+    explicit = pyproject is not None
+    if pyproject is None:
+        pyproject = find_pyproject()
+        if pyproject is None:
+            return LintConfig()
+    try:
+        with open(pyproject, "rb") as handle:
+            document = tomllib.load(handle)
+    except OSError as error:
+        raise LintConfigError(f"cannot read config {pyproject}: {error}")
+    except tomllib.TOMLDecodeError as error:
+        raise LintConfigError(f"{pyproject}: invalid TOML: {error}")
+    table: object = document
+    for part in _SECTION:
+        if not isinstance(table, dict) or part not in table:
+            if explicit and part == _SECTION[-1]:
+                # An explicitly-passed config without the table is fine;
+                # it simply contributes defaults.
+                return LintConfig(source=pyproject)
+            return LintConfig(source=pyproject if explicit else None)
+        table = table[part]
+    if not isinstance(table, dict):
+        raise LintConfigError(
+            f"{pyproject}: [tool.repro-lint] must be a table"
+        )
+    unknown = sorted(set(table) - set(_KEYS))
+    if unknown:
+        raise LintConfigError(
+            f"{pyproject}: unknown [tool.repro-lint] key(s): "
+            f"{', '.join(unknown)}"
+        )
+    return LintConfig(
+        paths=_string_tuple(table.get("paths", []), "paths", pyproject),
+        select=_string_tuple(table.get("select", []), "select", pyproject),
+        exclude=_string_tuple(table.get("exclude", []), "exclude", pyproject),
+        source=pyproject,
+    )

@@ -1,0 +1,116 @@
+"""The lint engine: file discovery, parsing, rule dispatch, suppression.
+
+The engine is deliberately import-light (ast + stdlib only) so the
+linter itself never perturbs the simulation it polices.  Parse failures
+are reported as rule ``RL000`` findings rather than crashing the run;
+unreadable paths raise :class:`~repro.errors.LintError`, which the CLI
+maps to exit code 2.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..errors import LintError
+from .findings import Finding
+from .rules import FileContext, Rule, select_rules
+from .suppress import is_suppressed, parse_suppressions
+
+#: Pseudo-rule id for files that do not parse.
+PARSE_ERROR_RULE = "RL000"
+
+
+def _excluded(path: Path, exclude: Sequence[str]) -> bool:
+    posix = path.as_posix()
+    return any(
+        fnmatch(posix, pattern) or fnmatch(path.name, pattern)
+        for pattern in exclude
+    )
+
+
+def iter_python_files(
+    paths: Iterable[str | Path], exclude: Sequence[str] = ()
+) -> list[Path]:
+    """Expand files/directories into the ordered list of files to lint.
+
+    Explicitly named files are always included; directories are walked
+    for ``*.py`` with ``exclude`` globs applied.  A path that does not
+    exist raises :class:`LintError`.
+    """
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if not _excluded(candidate, exclude)
+            )
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise LintError(f"path does not exist: {path}")
+    seen: set[Path] = set()
+    unique = []
+    for path in files:
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
+def lint_source(
+    source: str, path: str, rules: Sequence[Rule] | None = None
+) -> list[Finding]:
+    """Lint one in-memory module; returns sorted, unsuppressed findings."""
+    if rules is None:
+        rules = select_rules(None)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=path,
+                line=error.lineno or 1,
+                col=(error.offset or 1),
+                rule=PARSE_ERROR_RULE,
+                severity="error",
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    context = FileContext(path=path, source=source, tree=tree)
+    suppressions = parse_suppressions(source)
+    findings = [
+        finding
+        for rule in rules
+        for finding in rule.check(context)
+        if not is_suppressed(suppressions, finding.line, finding.rule)
+    ]
+    return sorted(findings)
+
+
+def lint_file(path: Path, rules: Sequence[Rule] | None = None) -> list[Finding]:
+    """Lint one file on disk; unreadable files raise :class:`LintError`."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise LintError(f"cannot read {path}: {error}")
+    except UnicodeDecodeError as error:
+        raise LintError(f"cannot decode {path}: {error}")
+    return lint_source(source, str(path), rules)
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    select: tuple[str, ...] | None = None,
+    exclude: Sequence[str] = (),
+) -> list[Finding]:
+    """Lint files and directory trees; the library-level entry point."""
+    rules = select_rules(tuple(select) if select else None)
+    findings: list[Finding] = []
+    for path in iter_python_files(paths, exclude):
+        findings.extend(lint_file(path, rules))
+    return findings

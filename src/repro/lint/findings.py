@@ -1,0 +1,34 @@
+"""The unit of lint output: one finding at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, pinned to a file/line/column.
+
+    ``rule`` is the stable identifier (``RL001``); ``hint`` is the
+    how-to-fix guidance shown under the message in text output and
+    carried verbatim in JSON output.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+    hint: str | None = None
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly representation (stable key order)."""
+        return asdict(self)
+
+    def render(self) -> str:
+        """One-line human-readable rendering, ``path:line:col: RULE msg``."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text

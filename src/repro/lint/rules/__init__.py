@@ -1,0 +1,24 @@
+"""The rule registry.
+
+Importing this package imports every rule module, which registers its
+rule class via the :func:`~repro.lint.rules.base.register` decorator.
+"""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401  (imported for registration side effects)
+    rl001_determinism,
+    rl002_units,
+    rl003_errors,
+    rl004_float_eq,
+    rl005_obs,
+)
+from .base import FileContext, Rule, all_rules, register, select_rules
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "all_rules",
+    "register",
+    "select_rules",
+]

@@ -1,0 +1,57 @@
+"""``# repro-lint: ignore[...]`` suppression comments.
+
+A finding is suppressed when the physical line it is reported on carries
+a suppression comment naming its rule (``# repro-lint: ignore[RL001]``,
+multiple rules comma-separated) or a blanket ``# repro-lint: ignore``.
+Comments are located with :mod:`tokenize`, so a matching string literal
+in code does not suppress anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+#: ``None`` in the map means "all rules suppressed on this line".
+SuppressionMap = dict[int, frozenset[str] | None]
+
+_PATTERN = re.compile(
+    r"repro-lint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?"
+)
+
+
+def parse_suppressions(source: str) -> SuppressionMap:
+    """Map line numbers to the rule ids suppressed on that line."""
+    suppressed: SuppressionMap = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PATTERN.search(token.string)
+            if match is None:
+                continue
+            rules = match.group("rules")
+            if rules is None:
+                suppressed[token.start[0]] = None
+            else:
+                ids = frozenset(
+                    part.strip().upper()
+                    for part in rules.split(",")
+                    if part.strip()
+                )
+                suppressed[token.start[0]] = ids or None
+    except tokenize.TokenError:
+        # A tokenization failure will surface as a parse-error finding;
+        # suppressions in the broken tail are moot.
+        pass
+    return suppressed
+
+
+def is_suppressed(suppressed: SuppressionMap, line: int, rule: str) -> bool:
+    """Whether ``rule`` is suppressed on ``line``."""
+    if line not in suppressed:
+        return False
+    rules = suppressed[line]
+    return rules is None or rule.upper() in rules

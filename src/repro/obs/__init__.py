@@ -29,6 +29,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Any, Iterator
 
+from . import names
 from .export import (
     SCHEMA_VERSION,
     JsonlWriter,
@@ -49,6 +50,7 @@ if TYPE_CHECKING:
 __all__ = [
     "OBS",
     "Observability",
+    "names",
     "RunManifest",
     "MetricsRegistry",
     "SectionTimer",

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..errors import ObservabilityError
+
 LabelKey = tuple[tuple[str, str], ...]
 
 
@@ -35,7 +37,7 @@ class Counter:
     def inc(self, amount: int = 1) -> None:
         """Add ``amount`` (must be non-negative) to the counter."""
         if amount < 0:
-            raise ValueError("counters only go up")
+            raise ObservabilityError("counters only go up")
         self.value += amount
 
 

@@ -1,0 +1,89 @@
+"""The span/event/metric name taxonomy.
+
+Every name the simulator emits through :data:`repro.obs.OBS` is declared
+here, so that trace consumers, the ``repro-verify`` span check, and the
+RL005 lint rule all agree on one vocabulary.  Adding an instrumentation
+point means adding its name here first — a literal that is not in the
+taxonomy fails ``repro-lint``.
+
+Names are dotted, lowercase, hyphenated within a segment
+(``attack.power-cycle``).  Dynamic families (one span per experiment,
+one event per power-event kind) are admitted by prefix.
+"""
+
+from __future__ import annotations
+
+#: Attack-step spans, in paper §6.1 order (plus the cold boot baseline).
+ATTACK_SPANS: tuple[str, ...] = (
+    "attack.voltboot",
+    "attack.coldboot",
+    "attack.identify",
+    "attack.attach",
+    "attack.power-cycle",
+    "attack.chill",
+    "attack.reboot",
+    "attack.extract",
+)
+
+#: Every statically-named span the simulator may open.
+SPAN_NAMES: frozenset[str] = frozenset(ATTACK_SPANS)
+
+#: Span families named dynamically (``experiment.<name>``, ...).
+SPAN_PREFIXES: tuple[str, ...] = ("experiment.", "benchmark.")
+
+#: Statically-named point-in-time trace events.
+EVENT_NAMES: frozenset[str] = frozenset({"bootrom.scratchpad"})
+
+#: Event families named dynamically (``power.<event-kind>``).
+EVENT_PREFIXES: tuple[str, ...] = ("power.",)
+
+#: Every statically-named counter/gauge/histogram.
+METRIC_NAMES: frozenset[str] = frozenset(
+    {
+        # SRAM cell physics.
+        "sram.tau_s",
+        "sram.retained_fraction",
+        "sram.cells_decayed",
+        "sram.cells_below_drv",
+        # DRAM cell physics.
+        "dram.tau_s",
+        "dram.retained_fraction",
+        "dram.cells_decayed",
+        # Cache activity.
+        "cache.evictions",
+        "cache.line_fills",
+        "cache.lines_zeroed",
+        # Boot ROM clobbering.
+        "bootrom.bytes_clobbered",
+        # Power timeline and domain state.
+        "power.events",
+        "power.cells_lost_surge",
+        "power.cells_lost_dvfs",
+        "power.domain.voltage_v",
+        "power.domain.surge_floor_v",
+        "power.domain.droop_depth_v",
+        "power.domain.retained_fraction",
+    }
+)
+
+#: Metric families named dynamically (benchmark sidecars).
+METRIC_PREFIXES: tuple[str, ...] = ("bench.",)
+
+
+def _known(name: str, names: frozenset[str], prefixes: tuple[str, ...]) -> bool:
+    return name in names or any(name.startswith(p) for p in prefixes)
+
+
+def is_known_span(name: str) -> bool:
+    """Whether ``name`` is a declared span name or span-family prefix."""
+    return _known(name, SPAN_NAMES, SPAN_PREFIXES)
+
+
+def is_known_event(name: str) -> bool:
+    """Whether ``name`` is a declared event name or event-family prefix."""
+    return _known(name, EVENT_NAMES, EVENT_PREFIXES)
+
+
+def is_known_metric(name: str) -> bool:
+    """Whether ``name`` is a declared metric name or metric-family prefix."""
+    return _known(name, METRIC_NAMES, METRIC_PREFIXES)

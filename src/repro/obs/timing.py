@@ -14,6 +14,16 @@ from contextlib import contextmanager
 from typing import Iterator
 
 
+def wall_clock() -> float:
+    """Monotonic wall-clock reading, in seconds.
+
+    The one sanctioned clock source: everything outside this module
+    (spans, timers) takes its wall-clock readings from here, so the
+    RL001 determinism lint can quarantine ``time`` imports to this file.
+    """
+    return time.perf_counter()
+
+
 class SectionTimer:
     """Accumulates named, ordered wall-clock sections."""
 
@@ -23,11 +33,11 @@ class SectionTimer:
     @contextmanager
     def section(self, name: str) -> Iterator[None]:
         """Time the enclosed block and record it under ``name``."""
-        start = time.perf_counter()
+        start = wall_clock()
         try:
             yield
         finally:
-            self._sections.append((name, time.perf_counter() - start))
+            self._sections.append((name, wall_clock() - start))
 
     def add(self, name: str, wall_s: float) -> None:
         """Record an externally measured section."""

@@ -13,10 +13,11 @@ as they close, so a crashed run still leaves a usable trace prefix.
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Protocol
+
+from .timing import wall_clock
 
 
 class TraceSink(Protocol):
@@ -101,14 +102,14 @@ class Tracer:
         """Open a span for the enclosed block."""
         span = Span(name=name, attributes=dict(attributes))
         self._stack.append(span)
-        start = time.perf_counter()
+        start = wall_clock()
         try:
             yield span
         except BaseException:
             span.status = "error"
             raise
         finally:
-            span.wall_s = time.perf_counter() - start
+            span.wall_s = wall_clock() - start
             self._stack.pop()
             self.finished.append(span)
             if self.sink is not None:

@@ -28,6 +28,7 @@ import numpy as np
 from ..errors import CalibrationError, CircuitError, MemoryMapError
 from ..circuits.sram import SramArray, SramParameters
 from ..obs import OBS
+from ..rng import spawn
 
 
 class BackingStore(Protocol):
@@ -209,7 +210,7 @@ class SetAssociativeCache:
             SramArray(
                 g.way_bytes * 8,
                 sram_params,
-                np.random.default_rng(rng.integers(0, 2**63)),
+                spawn(rng),
                 name=f"{name}.data.w{way}",
             )
             for way in range(g.ways)
@@ -217,7 +218,7 @@ class SetAssociativeCache:
         tag_sram = SramArray(
             g.sets * g.ways * TagArray.ENTRY_BYTES * 8,
             sram_params,
-            np.random.default_rng(rng.integers(0, 2**63)),
+            spawn(rng),
             name=f"{name}.tag",
         )
         self.tags = TagArray(tag_sram, g.sets * g.ways)
@@ -226,14 +227,14 @@ class SetAssociativeCache:
         # footnote 4).  The permutation is fixed per device.
         self._interleave: np.ndarray | None = None
         if line_interleave:
-            perm_rng = np.random.default_rng(rng.integers(0, 2**63))
+            perm_rng = spawn(rng)
             self._interleave = perm_rng.permutation(g.line_bytes * 8)
         # Flip-flop state (lost at reboot, not SRAM-backed).
         self.enabled = False
         self._lru = np.zeros((g.sets, g.ways), dtype=np.int64)
         self._lru_tick = 0
         self._rr_pointer = np.zeros(g.sets, dtype=np.int64)
-        self._victim_rng = np.random.default_rng(rng.integers(0, 2**63))
+        self._victim_rng = spawn(rng)
         # Statistics.
         self.hits = 0
         self.misses = 0

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import MemoryMapError
+from ..rng import from_entropy
 from .memory_map import MemoryPort
 
 #: Keystream block size.  Real scramblers work per burst; any fixed
@@ -44,7 +45,7 @@ class ScrambledMemory:
         last_block = (addr + size - 1) // KEYSTREAM_BLOCK
         chunks = []
         for block in range(first_block, last_block + 1):
-            rng = np.random.default_rng((self._session_seed, block))
+            rng = from_entropy((self._session_seed, block))
             chunks.append(rng.integers(0, 256, KEYSTREAM_BLOCK, dtype=np.uint8))
         stream = np.concatenate(chunks)
         start = addr - first_block * KEYSTREAM_BLOCK

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..rng import from_entropy
 from .cache import SetAssociativeCache
 
 
@@ -30,7 +31,7 @@ class VideoCore:
         data and invalidates the tags, exactly as the real boot does from
         the ARM cores' point of view.  Returns bytes clobbered.
         """
-        rng = np.random.default_rng((self._rng_seed, self.boot_count))
+        rng = from_entropy((self._rng_seed, self.boot_count))
         clobbered = 0
         for way, data_ram in enumerate(self._l2.data_rams):
             junk = rng.integers(0, 256, data_ram.n_bytes, dtype=np.uint8)

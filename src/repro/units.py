@@ -42,32 +42,42 @@ def kelvin_to_celsius(kelvin: float) -> float:
 
 def milliseconds(value: float) -> float:
     """Express ``value`` milliseconds in seconds."""
-    return value * 1e-3
+    return value / 1e3
 
 
 def microseconds(value: float) -> float:
     """Express ``value`` microseconds in seconds."""
-    return value * 1e-6
+    return value / 1e6
+
+
+def nanoseconds(value: float) -> float:
+    """Express ``value`` nanoseconds in seconds."""
+    return value / 1e9
 
 
 def millivolts(value: float) -> float:
     """Express ``value`` millivolts in volts."""
-    return value * 1e-3
+    return value / 1e3
 
 
 def milliamps(value: float) -> float:
     """Express ``value`` milliamperes in amperes."""
-    return value * 1e-3
+    return value / 1e3
+
+
+def milliohms(value: float) -> float:
+    """Express ``value`` milliohms in ohms."""
+    return value / 1e3
 
 
 def microfarads(value: float) -> float:
     """Express ``value`` microfarads in farads."""
-    return value * 1e-6
+    return value / 1e6
 
 
 def nanofarads(value: float) -> float:
     """Express ``value`` nanofarads in farads."""
-    return value * 1e-9
+    return value / 1e9
 
 
 def kib(value: float) -> int:

@@ -8,11 +8,12 @@ One command that answers "is this checkout good?":
 3. validates the emitted run manifest against the schema
    (:func:`repro.obs.validate_manifest`);
 4. checks the JSONL trace carries a header record plus one span per
-   attack step of paper §6.1.
+   attack step of paper §6.1;
+5. runs the ``repro-lint`` static-analysis suite over ``src/``.
 
 Exit code 0 means every stage passed; the first failing stage is
 reported and sets a non-zero exit code.  Pass ``--skip-tests`` to run
-only the (fast) smoke + schema stages.
+only the (fast) smoke + schema + lint stages.
 """
 
 from __future__ import annotations
@@ -27,14 +28,14 @@ import tempfile
 from collections.abc import Sequence
 from pathlib import Path
 
+from .obs import names as _taxonomy
+
 #: Span names the smoke trace must contain — the §6.1 attack steps.
-REQUIRED_SPANS = (
-    "attack.voltboot",
-    "attack.identify",
-    "attack.attach",
-    "attack.power-cycle",
-    "attack.reboot",
-    "attack.extract",
+#: Derived from the shared taxonomy; the cold-boot spans are optional
+#: because the smoke attack is a Volt Boot run.
+REQUIRED_SPANS = tuple(
+    name for name in _taxonomy.ATTACK_SPANS
+    if name not in ("attack.coldboot", "attack.chill")
 )
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -123,15 +124,36 @@ def check_trace(trace_path: Path) -> bool:
     return True
 
 
+def run_lint() -> bool:
+    """Run the repro-lint suite over ``src/``; True if it is clean."""
+    _stage("repro-lint src/")
+    from .errors import LintError
+    from .lint import lint_paths
+
+    src = REPO_ROOT / "src"
+    try:
+        findings = lint_paths([src])
+    except LintError as error:
+        print(f"[verify] FAIL: repro-lint: {error}", file=sys.stderr)
+        return False
+    if findings:
+        for finding in findings:
+            print(finding.render(), file=sys.stderr)
+        print(f"[verify] FAIL: repro-lint found {len(findings)} finding(s)",
+              file=sys.stderr)
+        return False
+    return True
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for ``repro-verify``; returns the exit code."""
     parser = argparse.ArgumentParser(
         prog="repro-verify",
-        description="tier-1 tests + smoke attack + manifest/trace checks",
+        description="tier-1 tests + smoke attack + manifest/trace/lint checks",
     )
     parser.add_argument(
         "--skip-tests", action="store_true",
-        help="skip the pytest stage; run only smoke + schema checks",
+        help="skip the pytest stage; run only smoke + schema + lint checks",
     )
     args = parser.parse_args(argv)
 
@@ -151,7 +173,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         if not check_trace(trace_path):
             return 1
 
-    print("[verify] OK: tests, smoke attack, manifest and trace all pass")
+    if not run_lint():
+        return 1
+
+    print("[verify] OK: tests, smoke attack, manifest, trace and lint all pass")
     return 0
 
 

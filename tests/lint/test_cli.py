@@ -1,0 +1,122 @@
+"""``repro-lint`` CLI behaviour: exit codes, formats, error reporting."""
+
+import json
+
+from repro.lint import cli
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, capsys, tmp_path):
+        module = tmp_path / "clean.py"
+        module.write_text("ANSWER = 42\n", encoding="utf-8")
+        assert cli.main([str(module), "--no-config"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "clean (1 file(s) checked)" in captured.err
+
+    def test_findings_exit_one(self, capsys, tmp_path):
+        module = tmp_path / "dirty.py"
+        module.write_text("import random\n", encoding="utf-8")
+        assert cli.main([str(module), "--no-config"]) == 1
+        captured = capsys.readouterr()
+        assert "RL001" in captured.out
+        assert "1 finding(s) in 1 file(s) checked" in captured.err
+
+    def test_nonexistent_path_is_a_one_line_exit_2(self, capsys, tmp_path):
+        missing = tmp_path / "no" / "such" / "dir"
+        assert cli.main([str(missing), "--no-config"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err.count("\n") == 1  # one line, not a traceback
+        assert captured.err.startswith("repro-lint: error:")
+        assert "does not exist" in captured.err
+
+    def test_unknown_rule_id_is_a_one_line_exit_2(self, capsys, tmp_path):
+        module = tmp_path / "clean.py"
+        module.write_text("ANSWER = 42\n", encoding="utf-8")
+        assert cli.main(
+            [str(module), "--rule", "RL999", "--no-config"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "RL999" in err
+
+    def test_malformed_config_is_a_one_line_exit_2(self, capsys, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.repro-lint]\nbogus_key = true\n", encoding="utf-8"
+        )
+        module = tmp_path / "clean.py"
+        module.write_text("ANSWER = 42\n", encoding="utf-8")
+        assert cli.main([str(module), "--config", str(pyproject)]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err.count("\n") == 1
+        assert captured.err.startswith("repro-lint: error:")
+        assert "bogus_key" in captured.err
+
+
+class TestOutputFormats:
+    def test_text_findings_carry_location_and_hint(self, capsys, tmp_path):
+        module = tmp_path / "dirty.py"
+        module.write_text("import time\n", encoding="utf-8")
+        assert cli.main([str(module), "--no-config"]) == 1
+        out = capsys.readouterr().out
+        assert f"{module}:1:1: RL001" in out
+        assert "hint:" in out
+
+    def test_json_document_shape(self, capsys, tmp_path):
+        module = tmp_path / "dirty.py"
+        module.write_text("import secrets\n", encoding="utf-8")
+        assert cli.main(
+            [str(module), "--format", "json", "--no-config"]
+        ) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema_version"] == cli.JSON_SCHEMA_VERSION
+        assert doc["checked"] == 1
+        assert len(doc["findings"]) == 1
+        assert set(doc["findings"][0]) == {
+            "path", "line", "col", "rule", "severity", "message", "hint",
+        }
+
+    def test_list_rules_prints_catalogue(self, capsys):
+        assert cli.main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+            assert rule_id in out
+
+
+class TestSelection:
+    def test_exclude_glob_skips_files(self, capsys, tmp_path):
+        (tmp_path / "dirty.py").write_text("import random\n", encoding="utf-8")
+        (tmp_path / "generated_pb2.py").write_text(
+            "import random\n", encoding="utf-8"
+        )
+        assert cli.main(
+            [str(tmp_path), "--exclude", "*_pb2.py", "--no-config"]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "dirty.py" in captured.out
+        assert "generated_pb2" not in captured.out
+        assert "1 file(s) checked" in captured.err
+
+    def test_config_provides_default_paths_and_excludes(self, capsys, tmp_path):
+        project = tmp_path / "proj"
+        (project / "src").mkdir(parents=True)
+        (project / "src" / "dirty.py").write_text(
+            "import random\n", encoding="utf-8"
+        )
+        (project / "src" / "skipme.py").write_text(
+            "import random\n", encoding="utf-8"
+        )
+        pyproject = project / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.repro-lint]\n"
+            f'paths = ["{project.as_posix()}/src"]\n'
+            'exclude = ["skipme.py"]\n',
+            encoding="utf-8",
+        )
+        assert cli.main(["--config", str(pyproject)]) == 1
+        captured = capsys.readouterr()
+        assert "dirty.py" in captured.out
+        assert "skipme" not in captured.out

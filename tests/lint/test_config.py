@@ -1,0 +1,83 @@
+"""``[tool.repro-lint]`` configuration loading and its failure modes."""
+
+import pytest
+
+from repro.errors import LintConfigError, LintError, ReproError
+from repro.lint import load_config
+
+
+class TestLoadConfig:
+    def test_valid_table(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.repro-lint]\n"
+            'paths = ["src"]\n'
+            'select = ["RL001"]\n'
+            'exclude = ["*_pb2.py"]\n',
+            encoding="utf-8",
+        )
+        config = load_config(pyproject)
+        assert config.paths == ("src",)
+        assert config.select == ("RL001",)
+        assert config.exclude == ("*_pb2.py",)
+        assert config.source == pyproject
+
+    def test_missing_table_yields_defaults(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text("[project]\nname = 'x'\n", encoding="utf-8")
+        config = load_config(pyproject)
+        assert config.paths == ()
+        assert config.select == ()
+        assert config.exclude == ()
+
+    def test_string_values_promote_to_tuples(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            '[tool.repro-lint]\npaths = "src"\n', encoding="utf-8"
+        )
+        assert load_config(pyproject).paths == ("src",)
+
+
+class TestMalformedConfig:
+    def test_invalid_toml(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text("[tool.repro-lint\n", encoding="utf-8")
+        with pytest.raises(LintConfigError, match="invalid TOML"):
+            load_config(pyproject)
+
+    def test_unknown_key(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.repro-lint]\nstrictness = 11\n", encoding="utf-8"
+        )
+        with pytest.raises(LintConfigError, match="unknown .* key"):
+            load_config(pyproject)
+
+    def test_wrong_value_type(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.repro-lint]\npaths = 3\n", encoding="utf-8"
+        )
+        with pytest.raises(LintConfigError, match="must be a string"):
+            load_config(pyproject)
+
+    def test_unreadable_file(self, tmp_path):
+        with pytest.raises(LintConfigError, match="cannot read"):
+            load_config(tmp_path / "no-such-pyproject.toml")
+
+    def test_error_hierarchy(self):
+        # LintConfigError must sit in the repo taxonomy so CLI layers can
+        # catch it at any granularity.
+        assert issubclass(LintConfigError, LintError)
+        assert issubclass(LintError, ReproError)
+
+
+class TestShippedConfig:
+    def test_repo_pyproject_parses(self):
+        from pathlib import Path
+
+        import repro
+
+        pyproject = Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
+        config = load_config(pyproject)
+        assert config.paths == ("src",)

@@ -1,0 +1,38 @@
+"""The gate: the shipped source tree must be lint-clean.
+
+This is the enforcement point for the repo's physics/determinism/error
+contracts — if any RL001–RL005 finding fires on ``src/``, this test
+fails and names it.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.lint import all_rules, lint_paths
+from repro.lint.suppress import parse_suppressions
+
+SRC = Path(repro.__file__).resolve().parent
+
+
+def test_shipped_tree_is_clean():
+    findings = lint_paths([SRC])
+    rendered = "\n".join(finding.render() for finding in findings)
+    assert findings == [], f"repro-lint findings on src/:\n{rendered}"
+
+
+def test_no_suppression_comments_in_shipped_tree():
+    # The tree must be clean outright, not silenced (ISSUE satellite:
+    # fix violations rather than suppress them).  parse_suppressions only
+    # reports real comment tokens, so docstring mentions don't count.
+    offenders = [
+        path
+        for path in sorted(SRC.rglob("*.py"))
+        if parse_suppressions(path.read_text(encoding="utf-8"))
+    ]
+    assert offenders == []
+
+
+def test_all_five_domain_rules_are_registered():
+    assert [rule.id for rule in all_rules()] == [
+        "RL001", "RL002", "RL003", "RL004", "RL005",
+    ]

@@ -1,0 +1,52 @@
+"""Suppression comments: ``# repro-lint: ignore[RULE]``."""
+
+from repro.lint import lint_source
+from repro.lint.suppress import is_suppressed, parse_suppressions
+
+
+class TestParsing:
+    def test_targeted_ignore(self):
+        mapping = parse_suppressions("x = 1  # repro-lint: ignore[RL001]\n")
+        assert mapping == {1: frozenset({"RL001"})}
+
+    def test_multiple_rules_one_comment(self):
+        mapping = parse_suppressions(
+            "x = 1  # repro-lint: ignore[RL001, RL004]\n"
+        )
+        assert mapping[1] == frozenset({"RL001", "RL004"})
+
+    def test_blanket_ignore(self):
+        mapping = parse_suppressions("x = 1  # repro-lint: ignore\n")
+        assert mapping == {1: None}
+        assert is_suppressed(mapping, 1, "RL003")
+
+    def test_unrelated_comments_ignored(self):
+        assert parse_suppressions("x = 1  # just a comment\n") == {}
+
+
+class TestEffect:
+    def test_targeted_ignore_silences_that_rule(self):
+        findings = lint_source(
+            "import random  # repro-lint: ignore[RL001]\n", "mod.py"
+        )
+        assert findings == []
+
+    def test_targeted_ignore_leaves_other_rules_alone(self):
+        findings = lint_source(
+            "import random  # repro-lint: ignore[RL004]\n", "mod.py"
+        )
+        assert [f.rule for f in findings] == ["RL001"]
+
+    def test_blanket_ignore_silences_everything_on_the_line(self):
+        findings = lint_source(
+            "import random  # repro-lint: ignore\n", "mod.py"
+        )
+        assert findings == []
+
+    def test_suppression_is_per_line(self):
+        source = (
+            "import random  # repro-lint: ignore[RL001]\n"
+            "import secrets\n"
+        )
+        findings = lint_source(source, "mod.py")
+        assert [(f.rule, f.line) for f in findings] == [("RL001", 2)]

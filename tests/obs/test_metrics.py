@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ObservabilityError, ReproError
 from repro.obs.metrics import MetricsRegistry
 
 
@@ -14,7 +15,12 @@ class TestCounter:
 
     def test_negative_increment_rejected(self):
         registry = MetricsRegistry()
-        with pytest.raises(ValueError):
+        with pytest.raises(ObservabilityError):
+            registry.counter("hits").inc(-1)
+
+    def test_negative_increment_is_a_repro_error(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ReproError):
             registry.counter("hits").inc(-1)
 
     def test_labels_separate_series(self):

@@ -145,6 +145,16 @@ class TestObservabilityFlags:
         assert "cannot open trace file" in err
         assert obs.OBS.enabled is False
 
+    def test_unwritable_figures_dir_is_a_one_line_exit_2(self, capsys, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory", encoding="utf-8")
+        out_dir = blocker / "figures"
+        assert main(["render-figures", "--out", str(out_dir)]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err.count("\n") == 1  # one-line error, not a traceback
+        assert captured.err.startswith("error:")
+
     def test_experiment_json_carries_report_and_manifest(self, capsys):
         assert main(
             ["experiment", "retention-sweep", "--seed", "9", "--json"]
