@@ -11,6 +11,14 @@ record a :class:`~repro.obs.RunManifest`; ``record_report`` persists it
 as ``benchmarks/results/<name>.json`` next to the text table, giving
 the perf-trajectory tooling a machine-readable record of each run
 (device, seed, per-phase timings, headline numbers).
+
+Shardable experiments bench through ``run_scaled``, which times the
+canonical serial run and — when ``--repro-jobs N`` is passed with
+``N > 1`` — a second parallel run, recording the measured
+``bench.exec.serial_wall_s`` / ``bench.exec.parallel_wall_s`` /
+``bench.exec.speedup`` gauges into the manifest sidecar.  On a
+multi-core host ``--repro-jobs 4`` shows the expected >=2x speedup; on
+a single-CPU machine the honest ~1x is what lands in the sidecar.
 """
 
 from __future__ import annotations
@@ -21,8 +29,21 @@ import pytest
 
 from repro import obs
 from repro.obs import RunManifest, validate_manifest, write_json
+from repro.obs.timing import wall_clock
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for shardable benches; N > 1 adds a "
+        "parallel leg and records the serial-vs-parallel speedup in "
+        "each manifest sidecar",
+    )
 
 
 @pytest.fixture(autouse=True)
@@ -49,9 +70,12 @@ def record_report(request):
                 kind="benchmark",
                 name=name,
                 seed=None,
-                metrics=obs.OBS.metrics.snapshot(),
             )
         doc = manifest.to_dict()
+        # The manifest's metric snapshot freezes when the decorated run
+        # returns; refresh from the live registry so gauges recorded
+        # after the run (e.g. run_scaled's speedup) reach the sidecar.
+        doc["metrics"] = obs.OBS.metrics.snapshot()
         doc["benchmark"] = request.node.name
         validate_manifest(doc)
         write_json(RESULTS_DIR / f"{name}.json", doc)
@@ -69,5 +93,40 @@ def run_once(benchmark):
         return benchmark.pedantic(
             func, args=args, kwargs=kwargs, rounds=1, iterations=1
         )
+
+    return _run
+
+
+@pytest.fixture
+def run_scaled(benchmark, request):
+    """Bench a shardable experiment and record its parallel speedup.
+
+    The pytest-benchmark timing is always the canonical serial run
+    (``jobs=1``), so bench trend lines stay comparable across hosts.
+    With ``--repro-jobs N`` (N > 1), the same callable runs once more
+    at ``jobs=N`` and the measured speedup gauges are recorded for the
+    manifest sidecar.  repro.exec guarantees both runs return identical
+    results, so the serial result is returned either way.
+    """
+    jobs = request.config.getoption("--repro-jobs")
+
+    def _run(func, **kwargs):
+        start = wall_clock()
+        result = benchmark.pedantic(
+            func, kwargs={**kwargs, "jobs": 1}, rounds=1, iterations=1
+        )
+        serial_wall = wall_clock() - start
+        obs.OBS.gauge_set("bench.exec.jobs", jobs)
+        obs.OBS.gauge_set("bench.exec.serial_wall_s", serial_wall)
+        if jobs > 1:
+            start = wall_clock()
+            func(**kwargs, jobs=jobs)
+            parallel_wall = wall_clock() - start
+            obs.OBS.gauge_set("bench.exec.parallel_wall_s", parallel_wall)
+            if parallel_wall > 0:
+                obs.OBS.gauge_set(
+                    "bench.exec.speedup", serial_wall / parallel_wall
+                )
+        return result
 
     return _run

@@ -6,7 +6,8 @@ Commands:
 * ``attack`` — run a Volt Boot (or cold boot) attack against a fresh
   simulated device with a demo victim and print what was recovered;
 * ``experiment`` — run one named paper experiment and print its report;
-* ``list-experiments`` — show the available experiment names.
+* ``list-experiments`` — show the available experiment names;
+* ``render-figures`` — regenerate every figure as PGM images.
 
 ``attack`` and ``experiment`` accept observability flags: ``--trace
 FILE`` streams a JSONL span/event trace, ``--metrics`` reports the
@@ -14,11 +15,18 @@ collected physics metrics, and ``--json`` replaces the human-readable
 output with one machine-readable JSON document (including the run
 manifest).  With none of these flags, output is byte-identical to an
 uninstrumented run.
+
+``experiment`` and ``render-figures`` accept ``--jobs N`` to shard
+their independent work units over N processes via :mod:`repro.exec`;
+results are byte-identical to ``--jobs 1`` by construction (see
+``docs/determinism.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import difflib
+import inspect
 import sys
 from collections.abc import Sequence
 
@@ -95,6 +103,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="experiment name (see list-experiments)",
     )
     experiment.add_argument("--seed", type=int, default=2022)
+    _add_jobs_flag(experiment)
     _add_observability_flags(experiment)
 
     commands.add_parser("list-experiments", help="list experiment names")
@@ -104,7 +113,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     render.add_argument("--out", default="figures", help="output directory")
     render.add_argument("--seed", type=int, default=2022)
+    _add_jobs_flag(render)
     return parser
+
+
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for shardable work "
+        "(results are byte-identical to --jobs 1)",
+    )
 
 
 def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
@@ -276,10 +294,25 @@ def _emit_json(doc: dict[str, object], include_metrics: bool) -> None:
     print(obs.dumps(doc))
 
 
+def _run_experiment(args: argparse.Namespace, module) -> object:
+    """Invoke ``module.run``, passing ``--jobs`` through if supported."""
+    if "jobs" in inspect.signature(module.run).parameters:
+        return module.run(seed=args.seed, jobs=args.jobs)
+    if args.jobs != 1:
+        print(
+            f"note: experiment {args.name!r} has no shardable axis; "
+            f"running serially",
+            file=sys.stderr,
+        )
+    return module.run(seed=args.seed)
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.name not in EXPERIMENTS:
+        close = difflib.get_close_matches(args.name, EXPERIMENTS, n=1)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
         print(
-            f"error: unknown experiment {args.name!r}; choose from: "
+            f"error: unknown experiment {args.name!r}{hint}; choose from: "
             f"{', '.join(sorted(EXPERIMENTS))}",
             file=sys.stderr,
         )
@@ -289,7 +322,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if observed and not _configure_observability(args):
         return 2
     try:
-        result = module.run(seed=args.seed)
+        result = _run_experiment(args, module)
         report = module.report(result)
         if args.json:
             doc: dict[str, object] = {
@@ -326,7 +359,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "render-figures":
             from .experiments.render import render_all
 
-            for path in render_all(args.out, seed=args.seed):
+            for path in render_all(args.out, seed=args.seed, jobs=args.jobs):
                 print(path)
             return 0
     except ReproError as error:

@@ -70,6 +70,26 @@ class ObservabilityError(ReproError):
     """The observability plumbing was misused (e.g. a counter decrement)."""
 
 
+class ExecError(ReproError):
+    """The parallel execution engine was misused or misconfigured."""
+
+
+class ShardError(ExecError):
+    """A shard of work units kept failing after its bounded retries.
+
+    Carries the shard's label and the attempt count so a campaign
+    driver can report exactly which grid points were lost.
+    """
+
+    def __init__(self, label: str, attempts: int, cause: str) -> None:
+        super().__init__(
+            f"shard {label!r} failed after {attempts} attempt(s): {cause}"
+        )
+        self.label = label
+        self.attempts = attempts
+        self.cause = cause
+
+
 class LintError(ReproError):
     """``repro-lint`` could not run (unreadable input, bad rule id, ...)."""
 

@@ -1,0 +1,35 @@
+"""Deterministic parallel experiment execution.
+
+The scaling substrate for the benchmark suite: experiments enumerate
+their independent work units (sweep grid points, trials, per-device
+runs) into a :class:`ShardPlan`, and :func:`execute` fans the shards
+out over a process pool — with the hard guarantee that ``jobs=N``
+produces **byte-identical** results to ``jobs=1``.
+
+The guarantee rests on three rules, enforced by this package's API:
+
+1. unit enumeration, arguments, and RNG streams are fixed at
+   plan-build time in the parent (``ShardPlan.with_spawned_streams``
+   draws per-unit streams via :func:`repro.rng.spawn` in unit order);
+2. units are pure functions of their arguments — no shared mutable
+   state, no ambient entropy (the RL001 lint holds that line);
+3. results merge by unit index, never by completion order.
+
+See ``docs/determinism.md`` for the full contract and
+``docs/architecture.md`` for how the layer fits the system.
+"""
+
+from __future__ import annotations
+
+from ..errors import ExecError, ShardError
+from .engine import execute
+from .plan import CHUNKS_PER_JOB, ShardPlan, WorkUnit
+
+__all__ = [
+    "CHUNKS_PER_JOB",
+    "ExecError",
+    "ShardError",
+    "ShardPlan",
+    "WorkUnit",
+    "execute",
+]

@@ -1,0 +1,298 @@
+"""Deterministic parallel dispatch of a :class:`~repro.exec.plan.ShardPlan`.
+
+:func:`execute` shards a plan's work units over a
+``ProcessPoolExecutor`` and merges the results back **in unit order**,
+so ``jobs=N`` is byte-identical to ``jobs=1`` for every experiment
+(the jobs-equivalence tests assert this).  The engine adds:
+
+* **per-shard timeout** — a shard that exceeds ``timeout_s`` on the
+  pool is abandoned there and re-attempted;
+* **bounded retry** — a failed or timed-out shard is re-run serially
+  in the parent (where a deterministic unit cannot fail differently
+  twice for transient reasons such as a broken pool); after
+  ``retries`` re-attempts it raises :class:`~repro.errors.ShardError`;
+* **graceful serial fallback** — if the pool cannot be created or
+  breaks mid-campaign, the remaining units run serially in-process and
+  the run still completes (an ``exec.fallback`` trace event records
+  the downgrade);
+* **per-shard observability** — each worker traces an ``exec.shard``
+  span and collects its own metrics registry; the parent adopts the
+  span records and merges the metric dumps, so a sharded run still
+  produces one schema-versioned run manifest.
+
+Workers quarantine the observability state they inherit across the
+process fork (:meth:`~repro.obs.Observability.quarantine_fork`), so a
+parent's open trace file is never written from a child.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..errors import ExecError, ShardError
+from ..obs import OBS
+from ..obs.timing import wall_clock
+from .plan import ShardPlan, WorkUnit
+
+
+@dataclass
+class _ShardTask:
+    """What ships to a worker: one shard of units plus capture intent."""
+
+    shard_index: int
+    units: tuple[WorkUnit, ...]
+    capture: bool
+
+    def describe(self) -> str:
+        """Label for errors/events: the shard and its unit labels."""
+        inner = ", ".join(unit.describe() for unit in self.units)
+        return f"shard[{self.shard_index}]({inner})"
+
+
+@dataclass
+class _ShardOutcome:
+    """What a worker ships back: indexed results plus observability."""
+
+    shard_index: int
+    results: list[tuple[int, Any]]
+    wall_s: float
+    metrics: dict[str, Any] | None = None
+    spans: list[dict[str, Any]] = field(default_factory=list)
+
+
+def _shard_worker(task: _ShardTask) -> _ShardOutcome:
+    """Run one shard in a worker process (also used for serial retry).
+
+    Module-level so the pool can pickle it by reference.
+    """
+    OBS.quarantine_fork()
+    if task.capture:
+        OBS.configure()
+    start = wall_clock()
+    results: list[tuple[int, Any]] = []
+    with OBS.span(
+        "exec.shard", shard=task.shard_index, units=len(task.units)
+    ) as span:
+        span.set_attribute(
+            "labels", [unit.describe() for unit in task.units]
+        )
+        for unit in task.units:
+            results.append((unit.index, unit.run()))
+    outcome = _ShardOutcome(
+        shard_index=task.shard_index,
+        results=results,
+        wall_s=wall_clock() - start,
+        metrics=OBS.metrics.dump() if task.capture else None,
+        spans=[s.to_record() for s in OBS.tracer.finished]
+        if task.capture
+        else [],
+    )
+    OBS.quarantine_fork()
+    return outcome
+
+
+def execute(
+    plan: ShardPlan,
+    jobs: int = 1,
+    *,
+    timeout_s: float | None = None,
+    retries: int = 1,
+    chunk_size: int | None = None,
+) -> list[Any]:
+    """Run every unit of ``plan``; returns results in unit order.
+
+    ``jobs=1`` runs serially in-process with no pool at all;
+    ``jobs>1`` dispatches chunked shards to a process pool.  Both paths
+    return the same bytes.  ``timeout_s`` bounds each shard's wait on
+    the pool (serial re-attempts are not timed — the parent cannot
+    interrupt itself); ``retries`` bounds re-attempts per shard before
+    :class:`~repro.errors.ShardError` is raised.
+    """
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ExecError(f"jobs must be >= 1, got {jobs}")
+    if retries < 0:
+        raise ExecError(f"retries must be >= 0, got {retries}")
+    if not len(plan):
+        return []
+    capture = OBS.enabled
+    with OBS.span("exec.run", jobs=jobs, units=len(plan)):
+        if capture:
+            OBS.counter_inc("exec.units", len(plan))
+            OBS.gauge_set("exec.jobs", jobs)
+        if jobs == 1 or len(plan) == 1:
+            return _run_serial(plan.units)
+        shards = plan.shards(jobs, chunk_size)
+        tasks = [
+            _ShardTask(shard_index=i, units=shard, capture=capture)
+            for i, shard in enumerate(shards)
+        ]
+        if capture:
+            OBS.counter_inc("exec.shards", len(tasks))
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(jobs, len(tasks)))
+        except (OSError, ImportError, RuntimeError, BrokenExecutor) as error:
+            # No pool at all: run everything serially in-process.  This
+            # is a downgrade, not a shard failure, so it does not count
+            # against the retry budget.
+            _note_fallback(error)
+            return _run_serial(plan.units)
+        outcomes, failures = _dispatch(pool, tasks, timeout_s)
+        for task, cause in failures:
+            outcomes[task.shard_index] = _reattempt(task, retries, cause)
+        _merge_observability(outcomes, capture)
+        return _merge_results(plan, outcomes)
+
+
+# ----------------------------------------------------------------------
+# Serial path (jobs=1 and the pool-unavailable fallback)
+# ----------------------------------------------------------------------
+
+
+def _run_serial(units: Sequence[WorkUnit]) -> list[Any]:
+    """Run units in order in the current process.
+
+    Metrics and spans land directly in the parent registry, so no
+    merge step is needed.
+    """
+    results: dict[int, Any] = {}
+    for unit in units:
+        results[unit.index] = unit.run()
+    return [results[index] for index in range(len(units))]
+
+
+# ----------------------------------------------------------------------
+# Parallel dispatch
+# ----------------------------------------------------------------------
+
+
+def _dispatch(
+    pool: ProcessPoolExecutor,
+    tasks: list[_ShardTask],
+    timeout_s: float | None,
+) -> tuple[dict[int, _ShardOutcome], list[tuple[_ShardTask, BaseException]]]:
+    """Submit every shard to the pool; collect outcomes and failures.
+
+    A pool that breaks before everything is submitted downgrades the
+    unsubmitted remainder to the failure list, which the caller
+    re-attempts serially.
+    """
+    futures: list[tuple[_ShardTask, Future]] = []
+    try:
+        for task in tasks:
+            futures.append((task, pool.submit(_shard_worker, task)))
+    except (OSError, BrokenExecutor) as error:
+        _note_fallback(error)
+        pool.shutdown(wait=False, cancel_futures=True)
+        submitted = {task.shard_index for task, _ in futures}
+        outcomes, failures = _collect(futures, timeout_s)
+        failures.extend(
+            (task, error)
+            for task in tasks
+            if task.shard_index not in submitted
+        )
+        return outcomes, failures
+    outcomes, failures = _collect(futures, timeout_s)
+    # Abandon rather than join: a timed-out worker may still be busy,
+    # and the serial re-attempt must not wait for it.
+    pool.shutdown(wait=not failures, cancel_futures=bool(failures))
+    return outcomes, failures
+
+
+def _collect(
+    futures: list[tuple[_ShardTask, Future]], timeout_s: float | None
+) -> tuple[dict[int, _ShardOutcome], list[tuple[_ShardTask, BaseException]]]:
+    """Wait on each shard's future, applying the per-shard timeout."""
+    outcomes: dict[int, _ShardOutcome] = {}
+    failures: list[tuple[_ShardTask, BaseException]] = []
+    for task, future in futures:
+        try:
+            outcomes[task.shard_index] = future.result(timeout=timeout_s)
+        except TimeoutError as error:
+            if OBS.enabled:
+                OBS.counter_inc("exec.timeouts")
+                OBS.event(
+                    "exec.timeout", shard=task.describe(),
+                    timeout_s=timeout_s,
+                )
+            failures.append((task, error))
+        except Exception as error:  # unit raised, or the pool broke
+            failures.append((task, error))
+    return outcomes, failures
+
+
+def _note_fallback(error: BaseException) -> None:
+    """Record the pool-unavailable downgrade in the trace/metrics."""
+    if OBS.enabled:
+        OBS.counter_inc("exec.fallbacks")
+        OBS.event("exec.fallback", reason=repr(error))
+
+
+def _reattempt(
+    task: _ShardTask, retries: int, cause: BaseException
+) -> _ShardOutcome:
+    """Re-run a failed shard serially, up to ``retries`` more times."""
+    attempts = 1  # the pool attempt
+    while attempts <= retries:
+        attempts += 1
+        if OBS.enabled:
+            OBS.counter_inc("exec.retries")
+            OBS.event(
+                "exec.retry", shard=task.describe(), attempt=attempts
+            )
+        try:
+            # Serial re-attempt in the parent: metrics/spans land
+            # directly in the live registry, so strip capture.
+            start = wall_clock()
+            results = [(unit.index, unit.run()) for unit in task.units]
+            return _ShardOutcome(
+                shard_index=task.shard_index,
+                results=results,
+                wall_s=wall_clock() - start,
+            )
+        except Exception as error:
+            cause = error
+    raise ShardError(task.describe(), attempts, repr(cause)) from cause
+
+
+# ----------------------------------------------------------------------
+# Merging
+# ----------------------------------------------------------------------
+
+
+def _merge_observability(
+    outcomes: dict[int, _ShardOutcome], capture: bool
+) -> None:
+    """Fold worker-side metrics and spans into the parent registry.
+
+    Outcomes merge in shard order (= unit order), so last-write-wins
+    gauges resolve exactly as a serial run would.
+    """
+    if not capture:
+        return
+    for shard_index in sorted(outcomes):
+        outcome = outcomes[shard_index]
+        OBS.histogram_record("exec.shard_wall_s", outcome.wall_s)
+        if outcome.metrics is not None:
+            OBS.metrics.merge(outcome.metrics)
+        for record in outcome.spans:
+            OBS.tracer.adopt_record(record)
+
+
+def _merge_results(
+    plan: ShardPlan, outcomes: dict[int, _ShardOutcome]
+) -> list[Any]:
+    """Reassemble per-unit results into plan order."""
+    by_unit: dict[int, Any] = {}
+    for outcome in outcomes.values():
+        for unit_index, value in outcome.results:
+            by_unit[unit_index] = value
+    missing = [u.describe() for u in plan.units if u.index not in by_unit]
+    if missing:
+        raise ExecError(
+            f"shard outcomes missing {len(missing)} unit(s): "
+            + ", ".join(missing)
+        )
+    return [by_unit[index] for index in range(len(plan))]

@@ -16,12 +16,18 @@ import numpy as np
 from ..analysis.hamming import block_hamming_profile
 from ..core.report import AttackReport
 from ..devices.builders import IMX53_IRAM_BASE
+from ..exec import ShardPlan, WorkUnit, execute
 from ..rng import DEFAULT_SEED
 from . import figure9
 from .common import manifested
 
 #: Profile granularity (bits), as in the paper.
 BLOCK_BITS = 512
+
+#: Blocks per shardable profile chunk.  Fixed — never derived from
+#: ``jobs`` — so the unit enumeration (and thus the merged profile) is
+#: identical at every parallelism level.
+CHUNK_BLOCKS = 256
 
 
 @dataclass
@@ -75,13 +81,41 @@ def _find_clusters(profile: np.ndarray, threshold: int = 8) -> list[ErrorCluster
     return clusters
 
 
-@manifested("figure10", device="imx53")
-def run(seed: int = DEFAULT_SEED) -> Figure10Result:
-    """Compute the profile from a fresh Figure 9 recovery."""
+def _profile_chunk(stored: bytes, recovered: bytes) -> np.ndarray:
+    """Hamming profile of one contiguous slice of the iRAM image."""
+    return block_hamming_profile(stored, recovered, block_bits=BLOCK_BITS)
+
+
+def shard_plan(seed: int) -> ShardPlan:
+    """Shardable axis: fixed-size contiguous chunks of the iRAM image.
+
+    The Figure 9 recovery itself runs in the parent (its attack is one
+    indivisible sequence); only the block-profile computation shards.
+    """
     recovery = figure9.run(seed=seed)
-    profile = block_hamming_profile(
-        recovery.stored, recovery.recovered, block_bits=BLOCK_BITS
-    )
+    chunk_bytes = CHUNK_BLOCKS * BLOCK_BITS // 8
+    units = [
+        WorkUnit(
+            index=i,
+            fn=_profile_chunk,
+            args=(
+                recovery.stored[offset : offset + chunk_bytes],
+                recovery.recovered[offset : offset + chunk_bytes],
+            ),
+            label=f"figure10[blocks {i * CHUNK_BLOCKS}+]",
+        )
+        for i, offset in enumerate(
+            range(0, len(recovery.stored), chunk_bytes)
+        )
+    ]
+    return ShardPlan(units)
+
+
+@manifested("figure10", device="imx53")
+def run(seed: int = DEFAULT_SEED, jobs: int = 1) -> Figure10Result:
+    """Compute the profile from a fresh Figure 9 recovery."""
+    chunks = execute(shard_plan(seed), jobs=jobs)
+    profile = np.concatenate(chunks)
     return Figure10Result(profile=profile, clusters=_find_clusters(profile))
 
 

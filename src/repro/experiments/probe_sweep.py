@@ -30,6 +30,7 @@ from ..core.report import AttackReport
 from ..core.voltboot import VoltBootAttack
 from ..devices import raspberry_pi_4
 from ..errors import ProbeError
+from ..exec import ShardPlan, WorkUnit, execute
 from ..rng import DEFAULT_SEED, generator
 from ..units import milliamps
 from .common import ATTACKER_MEDIA, VICTIM_MEDIA, fill_dcache, snapshot_l1d
@@ -88,22 +89,62 @@ def _hold_voltage_accuracy(seed: int, hold_v: float) -> float:
     return max(0.0, 100.0 * (2.0 * surviving - 1.0))
 
 
-@manifested("probe-sweep", device="rpi4")
-def run(seed: int = DEFAULT_SEED) -> list[ProbePoint]:
-    """Run all three sweeps; returns every sampled point."""
-    points: list[ProbePoint] = []
-    for limit in CURRENT_LIMITS_A:
-        supply = BenchSupply(voltage_v=0.8, current_limit_a=limit)
-        accuracy, attached = _accuracy_with_supply(seed, supply)
-        points.append(ProbePoint("current", limit, 0.8, accuracy, attached))
-    for hold_v in HOLD_VOLTAGES_V:
-        accuracy = _hold_voltage_accuracy(seed, hold_v)
-        points.append(ProbePoint("hold-voltage", 3.0, hold_v, accuracy, True))
-    # A mis-set probe cannot be attached to the live rail at all.
+def _current_point(seed: int, limit: float) -> ProbePoint:
+    """Board-level attack under one probe current limit."""
+    supply = BenchSupply(voltage_v=0.8, current_limit_a=limit)
+    accuracy, attached = _accuracy_with_supply(seed, supply)
+    return ProbePoint("current", limit, 0.8, accuracy, attached)
+
+
+def _hold_point(seed: int, hold_v: float) -> ProbePoint:
+    """Cell-level retention at one reduced hold voltage."""
+    accuracy = _hold_voltage_accuracy(seed, hold_v)
+    return ProbePoint("hold-voltage", 3.0, hold_v, accuracy, True)
+
+
+def _attach_point(seed: int) -> ProbePoint:
+    """A mis-set probe cannot be attached to the live rail at all."""
     bad_supply = BenchSupply(voltage_v=0.5, current_limit_a=3.0)
     accuracy, attached = _accuracy_with_supply(seed + 77, bad_supply)
-    points.append(ProbePoint("attach", 3.0, 0.5, accuracy, attached))
-    return points
+    return ProbePoint("attach", 3.0, 0.5, accuracy, attached)
+
+
+def shard_plan(seed: int) -> ShardPlan:
+    """Shardable axis: every sweep sample (current limits, hold
+    voltages, the attach-mismatch probe) is an independent unit."""
+    units = [
+        WorkUnit(
+            index=i,
+            fn=_current_point,
+            args=(seed, limit),
+            label=f"probe[current={limit:g}A]",
+        )
+        for i, limit in enumerate(CURRENT_LIMITS_A)
+    ]
+    units.extend(
+        WorkUnit(
+            index=len(CURRENT_LIMITS_A) + i,
+            fn=_hold_point,
+            args=(seed, hold_v),
+            label=f"probe[hold={hold_v:g}V]",
+        )
+        for i, hold_v in enumerate(HOLD_VOLTAGES_V)
+    )
+    units.append(
+        WorkUnit(
+            index=len(units),
+            fn=_attach_point,
+            args=(seed,),
+            label="probe[attach-mismatch]",
+        )
+    )
+    return ShardPlan(units)
+
+
+@manifested("probe-sweep", device="rpi4")
+def run(seed: int = DEFAULT_SEED, jobs: int = 1) -> list[ProbePoint]:
+    """Run all three sweeps; returns every sampled point."""
+    return execute(shard_plan(seed), jobs=jobs)
 
 
 def report(points: list[ProbePoint]) -> AttackReport:

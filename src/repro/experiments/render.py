@@ -10,44 +10,88 @@ from __future__ import annotations
 from pathlib import Path
 
 from ..analysis.imaging import write_pgm
+from ..exec import ShardPlan, WorkUnit, execute
 from ..rng import DEFAULT_SEED
-from . import figure3, figure7, figure8, figure9
 
 
-def render_all(out_dir: str | Path, seed: int = DEFAULT_SEED) -> list[Path]:
+def _render_figure3(out_dir: str, seed: int) -> list[Path]:
+    from . import figure3
+
+    fig3 = figure3.run(seed=seed)
+    return [
+        write_pgm(
+            fig3.way0_image, 512, Path(out_dir) / "figure3_coldboot_way0.pgm"
+        )
+    ]
+
+
+def _render_figure7(out_dir: str, seed: int) -> list[Path]:
+    from . import figure7
+
+    return [
+        write_pgm(
+            device_result.way0_image,
+            512,
+            Path(out_dir)
+            / f"figure7_{device_result.device.lower()}_icache.pgm",
+        )
+        for device_result in figure7.run(seed=seed)
+    ]
+
+
+def _render_figure8(out_dir: str, seed: int) -> list[Path]:
+    from . import figure8
+
+    fig8 = figure8.run(seed=seed)
+    out = Path(out_dir)
+    return [
+        write_pgm(fig8.dcache_way0, 512, out / "figure8_dcache_way0.pgm"),
+        write_pgm(
+            fig8.icache_way_images[0], 512, out / "figure8_icache_way0.pgm"
+        ),
+    ]
+
+
+def _render_figure9(out_dir: str, seed: int) -> list[Path]:
+    from . import figure9
+
+    fig9 = figure9.run(seed=seed)
+    written = []
+    for panel in range(4):
+        path = Path(out_dir) / f"figure9_panel_{chr(ord('a') + panel)}.pgm"
+        fig9.save_panel_pgm(panel, str(path))
+        written.append(path)
+    return written
+
+
+def shard_plan(out_dir: str | Path, seed: int) -> ShardPlan:
+    """Shardable axis: one unit per figure (each writes its own files)."""
+    renderers = (
+        ("figure3", _render_figure3),
+        ("figure7", _render_figure7),
+        ("figure8", _render_figure8),
+        ("figure9", _render_figure9),
+    )
+    return ShardPlan(
+        [
+            WorkUnit(
+                index=i,
+                fn=renderer,
+                args=(str(out_dir), seed),
+                label=f"render[{name}]",
+            )
+            for i, (name, renderer) in enumerate(renderers)
+        ]
+    )
+
+
+def render_all(
+    out_dir: str | Path, seed: int = DEFAULT_SEED, jobs: int = 1
+) -> list[Path]:
     """Regenerate every figure's images; returns the written paths."""
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     written: list[Path] = []
-
-    fig3 = figure3.run(seed=seed)
-    written.append(
-        write_pgm(fig3.way0_image, 512, out_dir / "figure3_coldboot_way0.pgm")
-    )
-
-    for device_result in figure7.run(seed=seed):
-        written.append(
-            write_pgm(
-                device_result.way0_image,
-                512,
-                out_dir / f"figure7_{device_result.device.lower()}_icache.pgm",
-            )
-        )
-
-    fig8 = figure8.run(seed=seed)
-    written.append(
-        write_pgm(fig8.dcache_way0, 512, out_dir / "figure8_dcache_way0.pgm")
-    )
-    written.append(
-        write_pgm(
-            fig8.icache_way_images[0], 512, out_dir / "figure8_icache_way0.pgm"
-        )
-    )
-
-    fig9 = figure9.run(seed=seed)
-    for panel in range(4):
-        path = out_dir / f"figure9_panel_{chr(ord('a') + panel)}.pgm"
-        fig9.save_panel_pgm(panel, str(path))
-        written.append(path)
-
+    for paths in execute(shard_plan(out_dir, seed), jobs=jobs):
+        written.extend(paths)
     return written

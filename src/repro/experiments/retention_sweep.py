@@ -20,6 +20,7 @@ import numpy as np
 from ..circuits.dram import DramArray
 from ..circuits.sram import SramArray
 from ..core.report import AttackReport
+from ..exec import ShardPlan, WorkUnit, execute
 from ..rng import DEFAULT_SEED, generator
 from ..units import celsius_to_kelvin, microseconds, milliseconds
 from .common import manifested
@@ -104,25 +105,62 @@ def _voltboot_retention(seed: int) -> float:
     return float(np.mean(sram.image() == reference))
 
 
+def _grid_point(
+    seed: int, temperature: float, off_time: float
+) -> tuple[RetentionPoint, RetentionPoint]:
+    """SRAM + DRAM retention at one grid cell — an independent unit.
+
+    Every cell derives its generators from ``(seed, label)`` afresh,
+    so the grid shares no RNG stream and shards freely.
+    """
+    return (
+        RetentionPoint(
+            "sram", temperature, off_time,
+            _sram_retention(seed, temperature, off_time),
+        ),
+        RetentionPoint(
+            "dram", temperature, off_time,
+            _dram_retention(seed, temperature, off_time),
+        ),
+    )
+
+
+def shard_plan(seed: int) -> ShardPlan:
+    """Shardable axis: the (temperature x off-time) grid, plus one
+    trailing unit for the Volt Boot reference line."""
+    units = [
+        WorkUnit(
+            index=i,
+            fn=_grid_point,
+            args=(seed, temperature, off_time),
+            label=f"retention[{temperature:g}C,{off_time * 1e3:g}ms]",
+        )
+        for i, (temperature, off_time) in enumerate(
+            (t, ot)
+            for t in SWEEP_TEMPERATURES_C
+            for ot in SWEEP_OFF_TIMES_S
+        )
+    ]
+    units.append(
+        WorkUnit(
+            index=len(units),
+            fn=_voltboot_retention,
+            args=(seed,),
+            label="retention[voltboot]",
+        )
+    )
+    return ShardPlan(units)
+
+
 @manifested("retention-sweep", device="rpi4")
-def run(seed: int = DEFAULT_SEED) -> RetentionSweep:
+def run(seed: int = DEFAULT_SEED, jobs: int = 1) -> RetentionSweep:
     """Measure the full (technology x temperature x time) grid."""
+    results = execute(shard_plan(seed), jobs=jobs)
+    voltboot = results[-1]
     sweep = RetentionSweep()
-    for temperature in SWEEP_TEMPERATURES_C:
-        for off_time in SWEEP_OFF_TIMES_S:
-            sweep.points.append(
-                RetentionPoint(
-                    "sram", temperature, off_time,
-                    _sram_retention(seed, temperature, off_time),
-                )
-            )
-            sweep.points.append(
-                RetentionPoint(
-                    "dram", temperature, off_time,
-                    _dram_retention(seed, temperature, off_time),
-                )
-            )
-    voltboot = _voltboot_retention(seed)
+    for sram_point, dram_point in results[:-1]:
+        sweep.points.append(sram_point)
+        sweep.points.append(dram_point)
     for temperature in SWEEP_TEMPERATURES_C:
         for off_time in SWEEP_OFF_TIMES_S:
             sweep.points.append(

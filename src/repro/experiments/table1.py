@@ -16,6 +16,7 @@ from ..analysis.hamming import bit_error_percent, fractional_hamming_distance
 from ..core.coldboot import ColdBootAttack
 from ..core.report import AttackReport
 from ..devices import raspberry_pi_4
+from ..exec import ShardPlan, execute
 from ..rng import DEFAULT_SEED
 from ..units import milliseconds
 from .common import ATTACKER_MEDIA, VICTIM_MEDIA, fill_dcache, snapshot_l1d
@@ -53,47 +54,67 @@ def _headline(rows: "list[Table1Row]") -> dict[str, float]:
     }
 
 
-@manifested("table1", device="rpi4", headline=_headline)
-def run(seed: int = DEFAULT_SEED) -> list[Table1Row]:
-    """Run the three-temperature cold boot sweep on fresh Pi 4 boards."""
-    rows = []
-    for position, temperature in enumerate(TABLE1_TEMPERATURES_C):
-        board = raspberry_pi_4(seed=seed + position)
-        board.boot(VICTIM_MEDIA)
-        # Capture the power-on fingerprint before the victim writes.
-        powerup = {
-            core.index: snapshot_l1d(core) for core in board.soc.cores
-        }
-        ground_truth = {}
-        for core in board.soc.cores:
-            fill_dcache(board, core.index, pattern=0xAA)
-            ground_truth[core.index] = snapshot_l1d(core)
+def _temperature_point(
+    seed: int, position: int, temperature: float
+) -> Table1Row:
+    """One chamber soak on a fresh board — an independent work unit.
 
-        attack = ColdBootAttack(
-            board,
-            temperature_c=temperature,
-            off_time_s=OFF_TIME_S,
-            boot_media=ATTACKER_MEDIA,
+    Each temperature gets its own board seeded ``seed + position``, so
+    the points share no RNG stream and shard freely.
+    """
+    board = raspberry_pi_4(seed=seed + position)
+    board.boot(VICTIM_MEDIA)
+    # Capture the power-on fingerprint before the victim writes.
+    powerup = {
+        core.index: snapshot_l1d(core) for core in board.soc.cores
+    }
+    ground_truth = {}
+    for core in board.soc.cores:
+        fill_dcache(board, core.index, pattern=0xAA)
+        ground_truth[core.index] = snapshot_l1d(core)
+
+    attack = ColdBootAttack(
+        board,
+        temperature_c=temperature,
+        off_time_s=OFF_TIME_S,
+        boot_media=ATTACKER_MEDIA,
+    )
+    result = attack.execute()
+    assert result.cache_images is not None
+
+    row = Table1Row(temperature_c=temperature)
+    fhd_values = []
+    for core in board.soc.cores:
+        observed = result.cache_images.dcache(core.index)
+        reference = b"".join(ground_truth[core.index])
+        row.per_core_error_percent.append(
+            bit_error_percent(reference, observed)
         )
-        result = attack.execute()
-        assert result.cache_images is not None
+        fhd_values.append(
+            fractional_hamming_distance(
+                b"".join(powerup[core.index]), observed
+            )
+        )
+    row.fhd_to_powerup = sum(fhd_values) / len(fhd_values)
+    return row
 
-        row = Table1Row(temperature_c=temperature)
-        fhd_values = []
-        for core in board.soc.cores:
-            observed = result.cache_images.dcache(core.index)
-            reference = b"".join(ground_truth[core.index])
-            row.per_core_error_percent.append(
-                bit_error_percent(reference, observed)
-            )
-            fhd_values.append(
-                fractional_hamming_distance(
-                    b"".join(powerup[core.index]), observed
-                )
-            )
-        row.fhd_to_powerup = sum(fhd_values) / len(fhd_values)
-        rows.append(row)
-    return rows
+
+def shard_plan(seed: int) -> ShardPlan:
+    """Shardable axis: one unit per chamber temperature."""
+    return ShardPlan.enumerate(
+        _temperature_point,
+        [
+            (seed, position, temperature)
+            for position, temperature in enumerate(TABLE1_TEMPERATURES_C)
+        ],
+        labels=[f"table1[{t:g}C]" for t in TABLE1_TEMPERATURES_C],
+    )
+
+
+@manifested("table1", device="rpi4", headline=_headline)
+def run(seed: int = DEFAULT_SEED, jobs: int = 1) -> list[Table1Row]:
+    """Run the three-temperature cold boot sweep on fresh Pi 4 boards."""
+    return execute(shard_plan(seed), jobs=jobs)
 
 
 def report(rows: list[Table1Row]) -> AttackReport:

@@ -126,6 +126,23 @@ class Observability:
         self.metrics = MetricsRegistry()
         self.manifests = []
 
+    def quarantine_fork(self) -> None:
+        """Drop state inherited across a ``fork`` without flushing it.
+
+        A forked ``repro.exec`` worker inherits the parent's enabled
+        registry — including an open trace sink whose buffered bytes
+        belong to the parent.  ``reset()`` would flush-and-close that
+        inherited file (duplicating records in the shared file); this
+        instead abandons the writer unflushed and starts from a clean,
+        disabled registry.  Workers then ``configure()`` their own
+        collection and ship dumps back for the parent to merge.
+        """
+        self._writer = None
+        self.enabled = False
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+        self.manifests = []
+
     # ------------------------------------------------------------------
     # Tracing
     # ------------------------------------------------------------------

@@ -16,6 +16,12 @@ from typing import Any
 
 from .export import SCHEMA_VERSION, _jsonable, validate_manifest
 
+#: Parameters that describe execution topology, not physics.  ``jobs``
+#: shards the same work units over more processes; the repro.exec
+#: engine guarantees the merged result is byte-identical, so the
+#: fingerprint must compare equal across ``--jobs`` settings.
+EXECUTION_PARAMETERS = ("jobs",)
+
 
 @dataclass
 class RunManifest:
@@ -61,12 +67,26 @@ class RunManifest:
         }
 
     def fingerprint(self) -> str:
-        """SHA-256 over the timing-free view.
+        """SHA-256 over the timing-free, topology-free view.
 
         Two runs with identical seeds and physics must produce equal
-        fingerprints; wall-clock jitter is excluded by construction.
+        fingerprints; wall-clock jitter and execution topology
+        (``--jobs``, see :data:`EXECUTION_PARAMETERS`) are excluded by
+        construction, alongside the ``exec.*`` engine metrics they
+        influence.
         """
-        canonical = json.dumps(self.to_dict(include_timings=False), sort_keys=True)
+        doc = self.to_dict(include_timings=False)
+        doc["parameters"] = {
+            k: v
+            for k, v in doc["parameters"].items()
+            if k not in EXECUTION_PARAMETERS
+        }
+        doc["metrics"] = {
+            k: v
+            for k, v in doc["metrics"].items()
+            if not k.startswith("exec.")
+        }
+        canonical = json.dumps(doc, sort_keys=True)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def validate(self) -> "RunManifest":

@@ -134,6 +134,52 @@ class MetricsRegistry:
                 out[_render_key(name, key)] = hist.summary()
         return out
 
+    def dump(self) -> dict[str, Any]:
+        """Lossless, picklable view of the registry's raw state.
+
+        Unlike :meth:`snapshot` (a flattened human/JSON view), a dump
+        preserves label structure and histogram totals, so a registry
+        collected in a worker process can be folded into the parent's
+        with :meth:`merge` — the mechanism ``repro.exec`` uses to merge
+        per-shard metrics into one run manifest.
+        """
+        return {
+            "counters": [
+                (name, key, c.value)
+                for (name, key), c in sorted(self._counters.items())
+            ],
+            "gauges": [
+                (name, key, g.value, g.updates)
+                for (name, key), g in sorted(self._gauges.items())
+            ],
+            "histograms": [
+                (name, key, h.count, h.total, h.minimum, h.maximum)
+                for (name, key), h in sorted(self._histograms.items())
+                if h.count
+            ],
+        }
+
+    def merge(self, dump: dict[str, Any]) -> None:
+        """Fold a :meth:`dump` from another registry into this one.
+
+        Counters add, histograms pool their summaries, and gauges take
+        the dumped value (last-writer-wins, matching ``Gauge.set``).
+        """
+        for name, key, value in dump.get("counters", ()):
+            self._counters.setdefault((name, tuple(key)), Counter()).inc(value)
+        for name, key, value, updates in dump.get("gauges", ()):
+            gauge = self._gauges.setdefault((name, tuple(key)), Gauge())
+            gauge.value = float(value)
+            gauge.updates += int(updates)
+        for name, key, count, total, minimum, maximum in dump.get(
+            "histograms", ()
+        ):
+            hist = self._histograms.setdefault((name, tuple(key)), Histogram())
+            hist.count += int(count)
+            hist.total += float(total)
+            hist.minimum = min(hist.minimum, float(minimum))
+            hist.maximum = max(hist.maximum, float(maximum))
+
     def reset(self) -> None:
         """Drop every metric."""
         self._counters.clear()

@@ -25,8 +25,15 @@ ATTACK_SPANS: tuple[str, ...] = (
     "attack.extract",
 )
 
+#: Parallel-execution spans (``repro.exec``): the outer engine run and
+#: the per-shard unit batches (attributes carry shard index and jobs).
+EXEC_SPANS: tuple[str, ...] = (
+    "exec.run",
+    "exec.shard",
+)
+
 #: Every statically-named span the simulator may open.
-SPAN_NAMES: frozenset[str] = frozenset(ATTACK_SPANS)
+SPAN_NAMES: frozenset[str] = frozenset(ATTACK_SPANS + EXEC_SPANS)
 
 #: Span families named dynamically (``experiment.<name>``, ...).
 SPAN_PREFIXES: tuple[str, ...] = ("experiment.", "benchmark.")
@@ -34,8 +41,9 @@ SPAN_PREFIXES: tuple[str, ...] = ("experiment.", "benchmark.")
 #: Statically-named point-in-time trace events.
 EVENT_NAMES: frozenset[str] = frozenset({"bootrom.scratchpad"})
 
-#: Event families named dynamically (``power.<event-kind>``).
-EVENT_PREFIXES: tuple[str, ...] = ("power.",)
+#: Event families named dynamically (``power.<event-kind>``,
+#: ``exec.<engine-event>`` — fallback/retry/timeout notices).
+EVENT_PREFIXES: tuple[str, ...] = ("power.", "exec.")
 
 #: Every statically-named counter/gauge/histogram.
 METRIC_NAMES: frozenset[str] = frozenset(
@@ -63,6 +71,14 @@ METRIC_NAMES: frozenset[str] = frozenset(
         "power.domain.surge_floor_v",
         "power.domain.droop_depth_v",
         "power.domain.retained_fraction",
+        # Parallel execution engine.
+        "exec.units",
+        "exec.shards",
+        "exec.jobs",
+        "exec.retries",
+        "exec.timeouts",
+        "exec.fallbacks",
+        "exec.shard_wall_s",
     }
 )
 

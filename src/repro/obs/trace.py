@@ -130,6 +130,26 @@ class Tracer:
                 }
             )
 
+    def adopt_record(self, record: dict[str, Any]) -> Span:
+        """Fold a finished span record from another tracer into this one.
+
+        ``repro.exec`` workers trace their shards in the child process
+        and ship the finished records back; adopting them here makes
+        per-shard spans visible to the parent's sink and to
+        :meth:`spans_named`, so a sharded run leaves one merged trace.
+        """
+        span = Span(
+            name=record["name"],
+            attributes=dict(record.get("attributes", {})),
+            events=list(record.get("events", [])),
+            status=record.get("status", "ok"),
+            wall_s=float(record.get("wall_s", 0.0)),
+        )
+        self.finished.append(span)
+        if self.sink is not None:
+            self.sink.write(span.to_record())
+        return span
+
     def spans_named(self, name: str) -> list[Span]:
         """Finished spans with the given name (test/report helper)."""
         return [s for s in self.finished if s.name == name]

@@ -1,0 +1,183 @@
+"""Tests for the parallel execution engine: dispatch, timeout, retry,
+fallback, and observability merging.
+
+Worker functions are module-level so the pool can pickle them by
+reference.  Failure injection uses marker files on disk: a unit that
+fails (or stalls) only while its marker is absent fails on the pool
+attempt and succeeds on the serial re-attempt, exercising the bounded
+retry path deterministically.
+"""
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.errors import ExecError, ShardError
+from repro.exec import ShardPlan, execute
+from repro.exec import engine
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_once(marker: str, value: int):
+    """Raise on the first call (marker absent), succeed afterwards."""
+    path = Path(marker)
+    if not path.exists():
+        path.write_text("attempted")
+        raise RuntimeError("injected first-attempt failure")
+    return value
+
+
+def _stall_once(marker: str, value: int):
+    """Stall past any reasonable timeout on the first call only."""
+    path = Path(marker)
+    if not path.exists():
+        path.write_text("attempted")
+        time.sleep(5.0)
+    return value
+
+
+def _always_fail(value: int):
+    raise RuntimeError("injected permanent failure")
+
+
+def _squares(n):
+    return ShardPlan.enumerate(
+        _square, [(i,) for i in range(n)], labels=[f"sq[{i}]" for i in range(n)]
+    )
+
+
+@pytest.fixture
+def observed():
+    obs.OBS.configure()
+    yield obs.OBS
+    obs.OBS.reset()
+
+
+class TestSerialPath:
+    def test_jobs_one_runs_in_process(self):
+        assert execute(_squares(5), jobs=1) == [0, 1, 4, 9, 16]
+
+    def test_empty_plan(self):
+        assert execute(ShardPlan([]), jobs=4) == []
+
+    def test_single_unit_skips_the_pool(self):
+        assert execute(_squares(1), jobs=8) == [0]
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ExecError):
+            execute(_squares(2), jobs=0)
+        with pytest.raises(ExecError):
+            execute(_squares(2), jobs=2, retries=-1)
+
+
+class TestParallelPath:
+    def test_results_merge_in_unit_order(self):
+        assert execute(_squares(13), jobs=4) == [i * i for i in range(13)]
+
+    def test_parallel_equals_serial(self):
+        assert execute(_squares(13), jobs=4) == execute(_squares(13), jobs=1)
+
+    def test_explicit_chunk_size(self):
+        assert execute(_squares(7), jobs=2, chunk_size=1) == [
+            i * i for i in range(7)
+        ]
+
+
+class TestRetry:
+    def test_failed_shard_is_retried_serially(self, tmp_path, observed):
+        marker = str(tmp_path / "fail-once")
+        # Two units so the plan actually shards (one unit short-circuits
+        # to the serial path).
+        plan = ShardPlan.enumerate(
+            _fail_once, [(marker, 42), (str(tmp_path / "other"), 7)]
+        )
+        Path(tmp_path / "other").write_text("pre-satisfied")
+        assert execute(plan, jobs=2, chunk_size=1, retries=1) == [42, 7]
+        assert observed.metrics.snapshot()["exec.retries"] == 1
+
+    def test_retries_exhausted_raises_shard_error(self):
+        plan = ShardPlan.enumerate(
+            _always_fail, [(1,), (2,)], labels=["bad[1]", "bad[2]"]
+        )
+        with pytest.raises(ShardError) as excinfo:
+            execute(plan, jobs=2, chunk_size=1, retries=1)
+        assert excinfo.value.attempts == 2
+        assert "bad[" in excinfo.value.label
+        assert "RuntimeError" in excinfo.value.cause
+
+    def test_zero_retries_fails_after_pool_attempt(self, tmp_path):
+        marker = str(tmp_path / "fail-once")
+        plan = ShardPlan.enumerate(
+            _fail_once, [(marker, 42), (marker, 42)]
+        )
+        with pytest.raises(ShardError) as excinfo:
+            execute(plan, jobs=2, chunk_size=1, retries=0)
+        assert excinfo.value.attempts == 1
+
+    def test_shard_error_is_in_the_repro_taxonomy(self):
+        from repro.errors import ReproError
+
+        assert issubclass(ShardError, ExecError)
+        assert issubclass(ExecError, ReproError)
+
+
+class TestTimeout:
+    def test_timed_out_shard_is_reattempted(self, tmp_path, observed):
+        marker = str(tmp_path / "stall-once")
+        plan = ShardPlan.enumerate(
+            _stall_once, [(marker, 11), (str(tmp_path / "other"), 22)]
+        )
+        Path(tmp_path / "other").write_text("pre-satisfied")
+        result = execute(
+            plan, jobs=2, chunk_size=1, timeout_s=0.25, retries=1
+        )
+        assert result == [11, 22]
+        snapshot = observed.metrics.snapshot()
+        assert snapshot["exec.timeouts"] >= 1
+        assert snapshot["exec.retries"] >= 1
+
+
+class TestSerialFallback:
+    def test_pool_unavailable_falls_back_to_serial(self, monkeypatch, observed):
+        def _no_pool(*args, **kwargs):
+            raise OSError("no process spawning here")
+
+        monkeypatch.setattr(engine, "ProcessPoolExecutor", _no_pool)
+        assert execute(_squares(6), jobs=4) == [i * i for i in range(6)]
+        assert observed.metrics.snapshot()["exec.fallbacks"] == 1
+
+    def test_fallback_ignores_retry_budget(self, monkeypatch):
+        def _no_pool(*args, **kwargs):
+            raise OSError("no process spawning here")
+
+        monkeypatch.setattr(engine, "ProcessPoolExecutor", _no_pool)
+        # Even with retries=0 the downgrade completes the run.
+        assert execute(_squares(6), jobs=4, retries=0) == [
+            i * i for i in range(6)
+        ]
+
+
+class TestObservabilityMerge:
+    def test_shard_spans_are_adopted(self, observed):
+        execute(_squares(8), jobs=2, chunk_size=4)
+        names = [span.name for span in observed.tracer.finished]
+        assert names.count("exec.shard") == 2
+        assert "exec.run" in names
+
+    def test_engine_metrics_are_recorded(self, observed):
+        execute(_squares(8), jobs=2, chunk_size=4)
+        snapshot = observed.metrics.snapshot()
+        assert snapshot["exec.units"] == 8
+        assert snapshot["exec.shards"] == 2
+        assert snapshot["exec.jobs"] == 2.0
+        assert snapshot["exec.shard_wall_s"]["count"] == 2
+
+    def test_disabled_obs_stays_silent(self):
+        execute(_squares(8), jobs=2, chunk_size=4)
+        assert obs.OBS.metrics.snapshot() == {}
+        assert obs.OBS.tracer.finished == []

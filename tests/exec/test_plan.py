@@ -1,0 +1,111 @@
+"""Tests for work-unit enumeration and shard planning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecError
+from repro.exec import CHUNKS_PER_JOB, ShardPlan, WorkUnit
+
+
+def _double(x):
+    return 2 * x
+
+
+def _draw(rng):
+    return int(rng.integers(0, 2**31))
+
+
+def _plan(n):
+    return ShardPlan.enumerate(_double, [(i,) for i in range(n)])
+
+
+class TestWorkUnit:
+    def test_run_applies_args_and_kwargs(self):
+        unit = WorkUnit(index=0, fn=lambda a, b=0: a + b, args=(2,), kwargs={"b": 3})
+        assert unit.run() == 5
+
+    def test_describe_prefers_label(self):
+        assert WorkUnit(index=3, fn=_double, label="grid[3]").describe() == "grid[3]"
+        assert WorkUnit(index=3, fn=_double).describe() == "unit[3]"
+
+
+class TestShardPlan:
+    def test_enumerate_orders_units_by_iteration(self):
+        plan = ShardPlan.enumerate(
+            _double, [(10,), (20,)], labels=["a", "b"]
+        )
+        assert [u.args for u in plan.units] == [(10,), (20,)]
+        assert [u.label for u in plan.units] == ["a", "b"]
+        assert len(plan) == 2
+
+    def test_enumerate_rejects_label_mismatch(self):
+        with pytest.raises(ExecError, match="labels"):
+            ShardPlan.enumerate(_double, [(1,), (2,)], labels=["only-one"])
+
+    def test_rejects_sparse_indices(self):
+        units = [WorkUnit(index=0, fn=_double), WorkUnit(index=2, fn=_double)]
+        with pytest.raises(ExecError, match="densely ordered"):
+            ShardPlan(units)
+
+    def test_rejects_out_of_order_indices(self):
+        units = [WorkUnit(index=1, fn=_double), WorkUnit(index=0, fn=_double)]
+        with pytest.raises(ExecError):
+            ShardPlan(units)
+
+
+class TestSharding:
+    def test_default_chunking_spreads_over_jobs(self):
+        plan = _plan(32)
+        assert plan.chunk_size(jobs=4) == max(1, 32 // (4 * CHUNKS_PER_JOB))
+
+    def test_explicit_chunk_size_wins(self):
+        assert _plan(32).chunk_size(jobs=4, chunk_size=7) == 7
+
+    def test_chunk_size_validation(self):
+        with pytest.raises(ExecError):
+            _plan(4).chunk_size(jobs=0)
+        with pytest.raises(ExecError):
+            _plan(4).chunk_size(jobs=2, chunk_size=0)
+
+    def test_shards_preserve_unit_order(self):
+        plan = _plan(10)
+        shards = plan.shards(jobs=3, chunk_size=3)
+        flattened = [u.index for shard in shards for u in shard]
+        assert flattened == list(range(10))
+        assert [len(s) for s in shards] == [3, 3, 3, 1]
+
+    def test_shard_layout_never_depends_on_completion(self):
+        # The layout is a pure function of (len, jobs, chunk_size).
+        assert _plan(10).shards(jobs=3, chunk_size=3) == _plan(10).shards(
+            jobs=3, chunk_size=3
+        )
+
+
+class TestSpawnedStreams:
+    def test_streams_drawn_in_unit_order(self):
+        plan = _plan(6)
+        with_rng = plan.with_spawned_streams(np.random.default_rng(7))
+        reference = plan.with_spawned_streams(np.random.default_rng(7))
+        ours = [_draw(u.kwargs["rng"]) for u in with_rng.units]
+        theirs = [_draw(u.kwargs["rng"]) for u in reference.units]
+        assert ours == theirs
+
+    def test_streams_are_decorrelated(self):
+        plan = _plan(6).with_spawned_streams(np.random.default_rng(7))
+        draws = [_draw(u.kwargs["rng"]) for u in plan.units]
+        assert len(set(draws)) == len(draws)
+
+    def test_parent_stream_position_is_shard_independent(self):
+        # Spawning happens at plan-build time: the parent generator ends
+        # in the same state regardless of how the plan is later sharded.
+        parent_a = np.random.default_rng(7)
+        parent_b = np.random.default_rng(7)
+        _plan(6).with_spawned_streams(parent_a).shards(jobs=1)
+        _plan(6).with_spawned_streams(parent_b).shards(jobs=4)
+        assert _draw(parent_a) == _draw(parent_b)
+
+    def test_custom_kwarg_name(self):
+        plan = _plan(2).with_spawned_streams(
+            np.random.default_rng(7), kwarg="noise"
+        )
+        assert all("noise" in u.kwargs for u in plan.units)

@@ -73,6 +73,12 @@ class TestExperimentCommand:
         for name in EXPERIMENTS:
             assert name in err  # the error lists every valid choice
 
+    def test_unknown_experiment_suggests_closest_name(self, capsys):
+        assert main(["experiment", "tabel1"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # still a one-line error
+        assert "did you mean 'table1'?" in err
+
     def test_registry_covers_every_module(self):
         from repro import experiments
 
