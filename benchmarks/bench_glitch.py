@@ -1,0 +1,37 @@
+"""Times the voltage-glitch parameter-search campaign.
+
+Beyond the standard serial-vs-parallel gauges, the sidecar records
+``bench.glitch.attempts_per_s`` — the campaign's raw attempt
+throughput, the number that bounds how large a parameter search is
+affordable.
+"""
+
+from repro import obs
+from repro.experiments import glitch_campaign
+
+
+def test_glitch_campaign(run_scaled, record_report):
+    result = run_scaled(glitch_campaign.run, seed=66)
+    serial_wall = obs.OBS.metrics.snapshot()["bench.exec.serial_wall_s"]
+    if serial_wall > 0:
+        obs.OBS.gauge_set(
+            "bench.glitch.attempts_per_s", len(result.attempts) / serial_wall
+        )
+    record_report(
+        "glitch_campaign", glitch_campaign.report(result).render()
+    )
+    unprotected = result.exploitable_rate("unprotected")
+    protected = result.exploitable_rate("brownout")
+    # The campaign must actually break the PIN guard somewhere on the
+    # grid, and the brown-out detector must measurably suppress it.
+    assert unprotected > 0.0
+    assert protected < unprotected
+    # Both legs ran the same pulse schedule.
+    assert len(result.leg_attempts("brownout")) == len(
+        result.leg_attempts("unprotected")
+    )
+    # Deep glitches never endanger stored state: the flag SRAM either
+    # reads back locked or unlocked, only computation faults — so every
+    # attempt classifies into the four outcome taxonomy classes.
+    for leg in result.spec.legs:
+        assert sum(result.outcome_rates(leg).values()) > 0.99

@@ -33,7 +33,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record of every table and figure.
 """
 
-from . import analysis, circuits, cpu, crypto, devices, osim, power, soc
+from . import analysis, circuits, cpu, crypto, devices, glitch, osim, power, soc
 from .core import (
     AttackReport,
     ColdBootAttack,
@@ -62,6 +62,7 @@ __all__ = [
     "cpu",
     "crypto",
     "devices",
+    "glitch",
     "osim",
     "power",
     "soc",

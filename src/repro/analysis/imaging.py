@@ -90,3 +90,29 @@ def write_pgm(
     header = f"P5\n{matrix.shape[1]} {matrix.shape[0]}\n255\n".encode("ascii")
     path.write_bytes(header + pixels.tobytes())
     return path
+
+
+def write_gray_pgm(
+    values: np.ndarray, path: str | Path, scale: int = 32
+) -> Path:
+    """Write a small value matrix (0..1) as an upscaled grayscale PGM.
+
+    Heat-map companion to :func:`write_pgm`: each matrix cell becomes a
+    ``scale`` × ``scale`` pixel block, high values rendering dark (so a
+    glitch-campaign success map reads like the paper's bit snapshots:
+    dark = signal).
+    """
+    matrix = np.asarray(values, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.size == 0:
+        raise ReproError("value matrix must be 2-D and non-empty")
+    if scale <= 0:
+        raise ReproError("scale must be positive")
+    clipped = np.clip(matrix, 0.0, 1.0)
+    pixels = ((1.0 - clipped) * 255.0).astype(np.uint8)
+    pixels = np.repeat(np.repeat(pixels, scale, axis=0), scale, axis=1)
+    path = Path(path)
+    header = (
+        f"P5\n{pixels.shape[1]} {pixels.shape[0]}\n255\n".encode("ascii")
+    )
+    path.write_bytes(header + pixels.tobytes())
+    return path

@@ -57,6 +57,7 @@ EXPERIMENTS = {
     "microarch-leak": experiments.microarch_leak,
     "standby-retention": experiments.standby_retention,
     "policy-ablation": experiments.policy_ablation,
+    "glitch-campaign": experiments.glitch_campaign,
 }
 
 #: Targets the attack command accepts per device.
@@ -308,6 +309,7 @@ def _run_experiment(args: argparse.Namespace, module) -> object:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    args.name = args.name.replace("_", "-")
     if args.name not in EXPERIMENTS:
         close = difflib.get_close_matches(args.name, EXPERIMENTS, n=1)
         hint = f" (did you mean {close[0]!r}?)" if close else ""

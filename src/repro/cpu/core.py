@@ -34,6 +34,11 @@ class Core:
         self.pc = 0
         self.halted = False
         self.instructions_retired = 0
+        #: One-shot decoded-instruction override consumed by the next
+        #: fetch.  The seam the glitch injector uses to model a
+        #: corrupted fetch: the front-end "sees" this instruction
+        #: instead of reading the i-cache, for exactly one step.
+        self.fetch_override: Instruction | None = None
         self._fetch_line_addr: int | None = None
         self._fetch_line: bytes = b""
         # Host-side micro-TLB / micro-BTB filters: real front-ends keep
@@ -90,6 +95,10 @@ class Core:
             self.memory_map.write_block(addr, data)
 
     def _fetch(self) -> Instruction:
+        if self.fetch_override is not None:
+            instr = self.fetch_override
+            self.fetch_override = None
+            return instr
         line_bytes = self.unit.l1i.geometry.line_bytes
         line_addr = self.pc & ~(line_bytes - 1)
         if line_addr != self._fetch_line_addr:
@@ -106,6 +115,7 @@ class Core:
         """Discard the line buffer (ISB, or external code modification)."""
         self._fetch_line_addr = None
         self._fetch_line = b""
+        self.fetch_override = None
 
     # ------------------------------------------------------------------
     # Execution

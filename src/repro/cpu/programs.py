@@ -14,7 +14,9 @@ victims:
 * :func:`byte_pattern_store` — store a repeated byte (0xAA) over a
   buffer, the Linux demo app of Figure 8;
 * :func:`dczva_wipe` — zero a buffer with ``DC ZVA``, the software purge
-  from §8.
+  from §8;
+* :func:`pin_check` — a secure-boot-style PIN comparison, the victim of
+  the ``repro.glitch`` fault-injection campaigns.
 """
 
 from __future__ import annotations
@@ -121,6 +123,46 @@ store_loop:
     addi  x0, x0, #8
     subi  x2, x2, #1
     cbnz  x2, store_loop
+    hlt
+"""
+
+
+def pin_check(
+    flag_addr: int,
+    entered_pin: int,
+    stored_pin: int,
+    delay_iterations: int = 12,
+) -> str:
+    """A secure-boot-style PIN comparison — the glitch campaign's victim.
+
+    Clears an unlock flag, spins a calibration delay loop (so the
+    comparison sits at a known time for the glitch offset axis), XORs
+    the entered PIN against the stored one, and only writes ``flag = 1``
+    when they match.  With a wrong PIN the honest outcomes are
+    ``flag = 0`` + HLT; a fault that skips or corrupts the ``cbnz``
+    guard lets the unlock path run anyway.  Register use: x0 flag
+    address, x1 flag value, x2 entered, x3 stored, x4 difference,
+    x5 delay counter.
+    """
+    if delay_iterations <= 0:
+        raise AssemblerError("delay iterations must be positive")
+    return f"""
+; PIN check: entered {entered_pin:#x} vs stored {stored_pin:#x}
+    cacheen
+    ldimm x0, #{flag_addr:#x}
+    ldi   x1, #0
+    str   x1, [x0, #0]          ; flag = locked
+    ldimm x5, #{delay_iterations}
+delay_loop:
+    subi  x5, x5, #1
+    cbnz  x5, delay_loop
+    ldimm x2, #{entered_pin:#x}
+    ldimm x3, #{stored_pin:#x}
+    eor   x4, x2, x3
+    cbnz  x4, locked            ; the guard a glitch wants to break
+    ldi   x1, #1
+    str   x1, [x0, #0]          ; flag = unlocked
+locked:
     hlt
 """
 

@@ -79,6 +79,15 @@ class RegisterAes:
         """Encrypt one block using only the register-resident schedule."""
         return _encrypt_with_schedule(self._schedule_from_registers(), plaintext)
 
+    def schedule(self) -> list[bytes]:
+        """The register-resident round keys, as the engine would use them.
+
+        This is the schedule a hardware-fault model perturbs mid-round
+        (:mod:`repro.glitch.dfa` encrypts from it): reading it performs
+        the same vector-register fetches as :meth:`encrypt`.
+        """
+        return self._schedule_from_registers()
+
     def registers_used(self) -> list[int]:
         """Indices of the vector registers holding round keys."""
         return list(

@@ -10,17 +10,28 @@ matching paper Tables 2 and 3:
 * :func:`imx53_qsb` — i.MX535, 1×Cortex-A8, probe pad SH13 on VDDAL1 at
   1.3 V; target: 128 KB iRAM.
 
+:func:`glitch_rig` builds a fourth, non-paper board: the small
+decoupling-stripped bench target of the :mod:`repro.glitch`
+fault-injection campaigns (pad TPG1 on VDD_CORE at 0.8 V).
+
 Each accepts countermeasure toggles (TrustZone enforcement, MBIST,
 authenticated-boot fusing) used by the §8 experiments.
 """
 
-from .builders import build_device, imx53_qsb, raspberry_pi_3, raspberry_pi_4
+from .builders import (
+    build_device,
+    glitch_rig,
+    imx53_qsb,
+    raspberry_pi_3,
+    raspberry_pi_4,
+)
 from .registry import DEVICES, DeviceInfo, device_info, platform_table, probe_table
 
 __all__ = [
     "raspberry_pi_4",
     "raspberry_pi_3",
     "imx53_qsb",
+    "glitch_rig",
     "build_device",
     "DEVICES",
     "DeviceInfo",

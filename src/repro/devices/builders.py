@@ -28,7 +28,7 @@ from ..soc.bootrom import BootRom, ClobberRegion
 from ..soc.cache import CacheGeometry
 from ..soc.memory_map import MainMemory, MemoryMap
 from ..soc.soc import DomainSpec, Soc, SocConfig
-from ..units import kib, microfarads, microseconds, milliamps
+from ..units import kib, microfarads, microseconds, milliamps, nanofarads
 
 #: Simulated main-memory size.  Real boards carry gigabytes; the
 #: workloads of the paper (cache-sized arrays, small binaries) need far
@@ -59,22 +59,24 @@ def _finish_board(
     nets: list[tuple[str, NetKind, str]],
     pads: list[tuple[str, str, str]],
     seed: int,
+    dram_bytes: int = DRAM_BYTES,
+    core_decoupling_f: float = CORE_DECOUPLING_F,
 ) -> Board:
     """Assemble the shared tail of every builder."""
     seeds = SeedSequenceFactory(seed)
     log = PowerEventLog()
     dram = DramArray(
-        DRAM_BYTES * 8, rng=seeds.generator("dram"), name=f"{name}.dram"
+        dram_bytes * 8, rng=seeds.generator("dram"), name=f"{name}.dram"
     )
     memory_map = MemoryMap()
     main_memory = MainMemory(dram, base_addr=0)
-    memory_map.add_region("dram", 0, DRAM_BYTES, main_memory)
+    memory_map.add_region("dram", 0, dram_bytes, main_memory)
     soc = Soc(config, memory_map, dram, seeds.child("soc"), log)
 
     pdn = PowerDeliveryNetwork(pmic)
     for net_name, kind, rail in nets:
         capacitance = (
-            CORE_DECOUPLING_F if kind is NetKind.CORE else 100e-6
+            core_decoupling_f if kind is NetKind.CORE else 100e-6
         )
         pdn.add_net(
             net_name,
@@ -281,10 +283,68 @@ def imx53_qsb(
     return _finish_board("imx53-qsb", config, pmic, nets, pads, seed)
 
 
+#: Rig DRAM: the glitch victims are tiny, and every byte costs build time.
+GLITCH_RIG_DRAM_BYTES = kib(64)
+
+#: Residual decoupling on the rig's core net after the attacker has
+#: desoldered the bulk caps (standard glitch prep): ~470 nF against the
+#: ~65 mΩ loop gives τ ≈ 30 ns, so nanosecond pulses reach the die.
+GLITCH_RIG_DECOUPLING_F = nanofarads(470)
+
+
+def glitch_rig(seed: int = DEFAULT_SEED) -> Board:
+    """Build the fault-injection bench target for :mod:`repro.glitch`.
+
+    A deliberately small single-core board — an embedded-class SoC
+    prepared for glitching: 4 KB L1s, no L2, 64 KB DRAM, and a core net
+    whose bulk decoupling has been removed so glitch pulses actually
+    arrive at the die.  Probe pad TPG1 rides VDD_CORE at 0.8 V.
+    """
+    pmic = Pmic(name="rig-pmu")
+    pmic.add_rail(BuckConverter("VDD_CORE", 0.8, max_current_a=2.0))
+    pmic.add_rail(BuckConverter("DDR_VDDQ", 1.1, max_current_a=1.0))
+
+    config = SocConfig(
+        name="glitch-rig",
+        cpu_name="mini-mcu",
+        core_count=1,
+        l1d_geometry=CacheGeometry(size_bytes=kib(4), ways=2, line_bytes=64),
+        l1i_geometry=CacheGeometry(size_bytes=kib(4), ways=2, line_bytes=64),
+        l2_geometry=None,
+        domains=(
+            DomainSpec(
+                "VDD_CORE", 0.8, ("l1-caches", "registers"), surge=CORE_SURGE
+            ),
+            DomainSpec("DDR_VDDQ", 1.1, ("dram",), surge=MEMORY_SURGE),
+        ),
+        bootrom=BootRom(name="glitch-rig.bootrom", internal_boot=False),
+    )
+
+    nets = [
+        ("VDD_CORE", NetKind.CORE, "VDD_CORE"),
+        ("DDR_VDDQ", NetKind.MEMORY, "DDR_VDDQ"),
+    ]
+    pads = [
+        ("TPG1", "VDD_CORE", "core-rail pad, decoupling caps removed"),
+        ("TPG2", "DDR_VDDQ", "DDR rail pad"),
+    ]
+    return _finish_board(
+        "glitch-rig",
+        config,
+        pmic,
+        nets,
+        pads,
+        seed,
+        dram_bytes=GLITCH_RIG_DRAM_BYTES,
+        core_decoupling_f=GLITCH_RIG_DECOUPLING_F,
+    )
+
+
 _BUILDERS = {
     "rpi4": raspberry_pi_4,
     "rpi3": raspberry_pi_3,
     "imx53": imx53_qsb,
+    "glitch-rig": glitch_rig,
 }
 
 

@@ -90,6 +90,25 @@ class ShardError(ExecError):
         self.cause = cause
 
 
+class GlitchError(ReproError):
+    """The fault-injection subsystem was misconfigured or misused."""
+
+
+class BrownOutReset(GlitchError):
+    """A brown-out detector tripped and reset the target mid-attempt.
+
+    Raised by the injector as soon as execution time crosses the
+    detector's trip point, so campaign drivers can classify the attempt
+    as ``reset`` (the countermeasure won) rather than a crash.
+    """
+
+    def __init__(self, trip_time_s: float) -> None:
+        super().__init__(
+            f"brown-out detector reset the core at t={trip_time_s:.3e}s"
+        )
+        self.trip_time_s = trip_time_s
+
+
 class LintError(ReproError):
     """``repro-lint`` could not run (unreadable input, bad rule id, ...)."""
 

@@ -19,6 +19,7 @@ the paper-shaped tables and assert on the result shapes.
 | :mod:`~repro.experiments.probe_sweep` | §6 — probe current/voltage adequacy ablation |
 | :mod:`~repro.experiments.countermeasures` | §8 — defense survey |
 | :mod:`~repro.experiments.platforms` | Tables 2 & 3 — platform/pad inventory |
+| :mod:`~repro.experiments.glitch_campaign` | ``repro.glitch`` — voltage-glitch parameter search |
 """
 
 from . import (
@@ -30,6 +31,7 @@ from . import (
     figure8,
     figure9,
     figure10,
+    glitch_campaign,
     microarch_leak,
     platforms,
     policy_ablation,
@@ -59,4 +61,5 @@ __all__ = [
     "microarch_leak",
     "standby_retention",
     "policy_ablation",
+    "glitch_campaign",
 ]

@@ -64,6 +64,30 @@ def _render_figure9(out_dir: str, seed: int) -> list[Path]:
     return written
 
 
+def _render_glitch(out_dir: str, seed: int) -> list[Path]:
+    from ..analysis.imaging import write_gray_pgm
+    from ..glitch.campaign import DEFAULT_SPEC, CampaignSpec
+    from . import glitch_campaign
+
+    # Unprotected leg only, trimmed depth axis: the success map is the
+    # figure, and the countermeasure leg contributes nothing to it.
+    spec = CampaignSpec(
+        offsets_s=DEFAULT_SPEC.offsets_s,
+        widths_s=DEFAULT_SPEC.widths_s,
+        depths_v=DEFAULT_SPEC.depths_v[-2:],
+        repeats=2,
+        random_points=0,
+        legs=("unprotected",),
+    )
+    result = glitch_campaign.run(seed=seed, spec=spec)
+    return [
+        write_gray_pgm(
+            result.success_map("unprotected"),
+            Path(out_dir) / "glitch_success_map.pgm",
+        )
+    ]
+
+
 def shard_plan(out_dir: str | Path, seed: int) -> ShardPlan:
     """Shardable axis: one unit per figure (each writes its own files)."""
     renderers = (
@@ -71,6 +95,7 @@ def shard_plan(out_dir: str | Path, seed: int) -> ShardPlan:
         ("figure7", _render_figure7),
         ("figure8", _render_figure8),
         ("figure9", _render_figure9),
+        ("glitch", _render_glitch),
     )
     return ShardPlan(
         [

@@ -1,0 +1,67 @@
+"""Transient voltage-glitch fault injection (the active-attack sibling
+of the paper's passive cold-boot readout).
+
+The paper's threat model gives the attacker the victim's power rails;
+:mod:`repro.glitch` asks what else those rails afford.  A parameterised
+glitch pulse (:mod:`~repro.glitch.waveform`) is RC-filtered by the
+board's own decoupling before the die sees it; the die-seen voltage
+drives a per-instruction fault model (:mod:`~repro.glitch.faultmodel`);
+an injector (:mod:`~repro.glitch.injector`) applies the sampled faults
+to the CPU interpreter at instruction granularity; and campaigns
+(:mod:`~repro.glitch.campaign`) search offset × width × depth for
+exploitable parameters, with a brown-out-detector countermeasure leg.
+:mod:`~repro.glitch.dfa` demonstrates the payoff: differential fault
+analysis of the on-chip AES recovers key bytes from faulty ciphertexts.
+"""
+
+from .campaign import (
+    DEFAULT_SPEC,
+    LEGS,
+    OUTCOMES,
+    CampaignResult,
+    CampaignSpec,
+    GlitchAttempt,
+    run_os_attempt,
+    run_point,
+    shard_plan,
+)
+from .dfa import DfaResult, aes_glitch_dfa, recover_last_round_key
+from .faultmodel import (
+    BrownOutDetector,
+    FaultKind,
+    FaultModel,
+    default_fault_model,
+)
+from .injector import (
+    DEFAULT_INSTRUCTION_PERIOD_S,
+    GlitchedInterpretedProcess,
+    GlitchInjector,
+    InjectionResult,
+)
+from .waveform import GlitchPulse, GlitchWaveform, die_waveform
+
+__all__ = [
+    "GlitchPulse",
+    "GlitchWaveform",
+    "die_waveform",
+    "FaultKind",
+    "FaultModel",
+    "default_fault_model",
+    "BrownOutDetector",
+    "GlitchInjector",
+    "GlitchedInterpretedProcess",
+    "InjectionResult",
+    "DEFAULT_INSTRUCTION_PERIOD_S",
+    "CampaignSpec",
+    "CampaignResult",
+    "GlitchAttempt",
+    "DEFAULT_SPEC",
+    "LEGS",
+    "OUTCOMES",
+    "shard_plan",
+    "run_point",
+    "run_os_attempt",
+    "DfaResult",
+    "aes_glitch_dfa",
+    "recover_last_round_key",
+]

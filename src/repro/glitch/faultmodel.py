@@ -1,0 +1,171 @@
+"""Voltage-to-fault mapping and the brown-out countermeasure.
+
+Transient undervolting causes timing-violation faults: logic paths that
+no longer settle within a clock period latch wrong values.  The mapping
+here is the standard empirical shape of the glitching literature
+(InjectV, Lu 2019): no faults above a *fault onset* voltage (timing
+margin intact), certain failure below a *logic floor*, and a steeply
+rising fault probability in between.  Note how both thresholds sit far
+above SRAM data-retention voltages (~0.25 V) — a glitch that corrupts
+*computation* leaves *stored state* untouched, the same domain-physics
+split Volt Boot exploits in the other direction.
+
+Fault draws consume a caller-supplied :mod:`repro.rng` generator keyed
+by (campaign, attempt), one draw sequence per attempt in retired-
+instruction order, so campaigns shard deterministically.
+
+:class:`BrownOutDetector` models the §8-style countermeasure: an
+on-die comparator that resets the chip when the filtered rail stays
+below a threshold longer than its response time.  Short, shallow
+glitches can still slip underneath it — which is exactly the
+detection-vs-exploitation trade-off the campaign measures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CalibrationError
+from ..units import nanoseconds
+from .waveform import GlitchWaveform
+
+
+class FaultKind(enum.Enum):
+    """Architectural effect of one per-instruction fault."""
+
+    SKIP = "skip"
+    CORRUPT_RESULT = "corrupt-result"
+    CORRUPT_FETCH = "corrupt-fetch"
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Instantaneous rail voltage → per-instruction fault probability.
+
+    Parameters
+    ----------
+    nominal_v:
+        The rail's design voltage.
+    fault_onset_v:
+        Below this, timing margin is exhausted and faults begin.
+    logic_floor_v:
+        Below this, every instruction faults.
+    skip_weight / corrupt_result_weight / corrupt_fetch_weight:
+        Relative likelihood of each :class:`FaultKind` once an
+        instruction faults.
+    """
+
+    nominal_v: float
+    fault_onset_v: float
+    logic_floor_v: float
+    skip_weight: float = 0.45
+    corrupt_result_weight: float = 0.35
+    corrupt_fetch_weight: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.logic_floor_v < self.fault_onset_v < self.nominal_v:
+            raise CalibrationError(
+                "fault model needs 0 < logic floor < fault onset < nominal"
+            )
+        weights = (
+            self.skip_weight,
+            self.corrupt_result_weight,
+            self.corrupt_fetch_weight,
+        )
+        if any(w < 0.0 for w in weights) or sum(weights) <= 0.0:
+            raise CalibrationError("fault-kind weights must be non-negative "
+                                   "and sum to a positive total")
+
+    def fault_probability(self, rail_v: float) -> float:
+        """Probability one instruction faults at this rail voltage.
+
+        Quadratic ramp between onset and floor: faults are rare just
+        past the margin and near-certain close to functional collapse.
+        """
+        if rail_v >= self.fault_onset_v:
+            return 0.0
+        if rail_v <= self.logic_floor_v:
+            return 1.0
+        margin = (self.fault_onset_v - rail_v) / (
+            self.fault_onset_v - self.logic_floor_v
+        )
+        return margin * margin
+
+    def sample(
+        self, rail_v: float, rng: np.random.Generator
+    ) -> FaultKind | None:
+        """Draw whether (and how) the next instruction faults.
+
+        Consumes one uniform when the voltage can fault at all, plus one
+        more to pick the kind when it does — a fixed draw discipline so
+        the stream stays aligned with the retired-instruction index.
+        """
+        probability = self.fault_probability(rail_v)
+        if probability <= 0.0:
+            return None
+        if float(rng.random()) >= probability:
+            return None
+        total = (
+            self.skip_weight
+            + self.corrupt_result_weight
+            + self.corrupt_fetch_weight
+        )
+        pick = float(rng.random()) * total
+        if pick < self.skip_weight:
+            return FaultKind.SKIP
+        if pick < self.skip_weight + self.corrupt_result_weight:
+            return FaultKind.CORRUPT_RESULT
+        return FaultKind.CORRUPT_FETCH
+
+
+def default_fault_model(nominal_v: float) -> FaultModel:
+    """The calibrated mapping for a rail at ``nominal_v``.
+
+    Onset at 80 % of nominal and the logic floor at 55 % follow the
+    published glitch characterisations (deep-submicron cores tolerate
+    ~10–20 % undervolt before timing failure); both sit far above the
+    ~0.25 V SRAM retention cliff.
+    """
+    return FaultModel(
+        nominal_v=nominal_v,
+        fault_onset_v=0.8 * nominal_v,
+        logic_floor_v=0.55 * nominal_v,
+    )
+
+
+@dataclass(frozen=True)
+class BrownOutDetector:
+    """An on-die comparator that resets the chip on sustained undervolt.
+
+    The detector trips when the filtered rail stays below
+    ``threshold_v`` for at least ``response_time_s`` — comparators need
+    time to integrate, which is the gap glitches slip through.
+    """
+
+    threshold_v: float
+    response_time_s: float = nanoseconds(40)
+
+    def __post_init__(self) -> None:
+        if self.threshold_v <= 0.0:
+            raise CalibrationError("brown-out threshold must be positive")
+        if self.response_time_s < 0.0:
+            raise CalibrationError("response time cannot be negative")
+
+    def trip_time(self, waveform: GlitchWaveform) -> float | None:
+        """When the detector fires against ``waveform``, if ever."""
+        below = waveform.voltage_v < self.threshold_v
+        indices = np.flatnonzero(below)
+        if indices.size == 0:
+            return None
+        gaps = np.flatnonzero(np.diff(indices) > 1)
+        run_starts = np.concatenate(([0], gaps + 1))
+        run_ends = np.concatenate((gaps, [indices.size - 1]))
+        for start, end in zip(run_starts, run_ends):
+            t_start = float(waveform.time_s[indices[start]])
+            t_end = float(waveform.time_s[indices[end]])
+            if t_end - t_start >= self.response_time_s:
+                return t_start + self.response_time_s
+        return None

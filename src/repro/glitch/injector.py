@@ -1,0 +1,284 @@
+"""Instruction-granular fault injection into the CPU interpreter.
+
+:class:`GlitchInjector` wraps a :class:`~repro.cpu.core.Core` without
+forking it: each :meth:`step` maps the core's retired-instruction count
+to a time on the glitch waveform, samples the fault model at that
+instant's rail voltage, and either lets the core step normally or
+applies one architectural fault:
+
+* **skip** — the instruction never executes (a timing fault in the
+  issue logic); the PC advances past it;
+* **corrupt-result** — the instruction executes but a random bit of its
+  destination register flips on the way to writeback;
+* **corrupt-fetch** — a random bit of the fetched encoding flips before
+  decode, via the core's one-shot ``fetch_override`` seam (an
+  undecodable corruption is an undefined-instruction fault).
+
+A :class:`~repro.glitch.faultmodel.BrownOutDetector` hook raises
+:class:`~repro.errors.BrownOutReset` the moment execution time crosses
+the detector's trip point, so campaigns can score the countermeasure.
+
+:class:`GlitchedInterpretedProcess` runs the same injection under the
+toy OS scheduler, so kernel cache noise and glitch faults compose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cpu.core import Core
+from ..cpu.isa import Opcode, XZR, decode
+from ..errors import BrownOutReset, CpuFault, GlitchError, ReproError
+from ..obs import OBS
+from ..osim.process import InterpretedProcess
+from ..soc.memory_map import MemoryMap
+from ..soc.soc import CoreUnit
+from ..units import nanoseconds
+from .faultmodel import BrownOutDetector, FaultKind, FaultModel
+from .waveform import GlitchWaveform
+
+#: Default instruction period: a 100 MHz embedded-class clock, so a
+#: handful of instructions spans the nanosecond-scale glitch widths.
+DEFAULT_INSTRUCTION_PERIOD_S = nanoseconds(10)
+
+#: Opcodes whose field ``a`` is a general-purpose destination register —
+#: the writeback targets a corrupt-result fault can flip.
+_REGISTER_WRITERS = frozenset(
+    {
+        Opcode.LDI,
+        Opcode.LSLI,
+        Opcode.LSRI,
+        Opcode.ORRI,
+        Opcode.ADD,
+        Opcode.ADDI,
+        Opcode.SUB,
+        Opcode.SUBI,
+        Opcode.AND,
+        Opcode.ORR,
+        Opcode.EOR,
+        Opcode.MUL,
+        Opcode.LDR,
+        Opcode.LDRB,
+        Opcode.VEXT,
+    }
+)
+
+
+@dataclass
+class InjectionResult:
+    """How one glitched execution ended."""
+
+    termination: str  # "halted" | "hung" | "crashed" | "reset"
+    instructions: int
+    faults: dict[str, int] = field(default_factory=dict)
+    min_rail_v: float = 0.0
+    detail: str = ""
+
+
+class GlitchInjector:
+    """Applies a fault model to a core, one instruction at a time."""
+
+    def __init__(
+        self,
+        core: Core,
+        waveform: GlitchWaveform,
+        model: FaultModel,
+        rng: np.random.Generator,
+        instruction_period_s: float = DEFAULT_INSTRUCTION_PERIOD_S,
+        brownout: BrownOutDetector | None = None,
+    ) -> None:
+        if instruction_period_s <= 0.0:
+            raise GlitchError("instruction period must be positive")
+        self.core = core
+        self.waveform = waveform
+        self.model = model
+        self.instruction_period_s = instruction_period_s
+        self._rng = rng
+        self._start_retired = core.instructions_retired
+        self._trip_time_s = (
+            brownout.trip_time(waveform) if brownout is not None else None
+        )
+        self.fault_counts: dict[str, int] = {k.value: 0 for k in FaultKind}
+        self.min_rail_v = waveform.nominal_v
+        self.brownout_tripped = False
+
+    def elapsed_s(self) -> float:
+        """Execution time since injection started (retired × period)."""
+        return (
+            self.core.instructions_retired - self._start_retired
+        ) * self.instruction_period_s
+
+    def step(self) -> None:
+        """Advance the victim by one (possibly faulted) instruction."""
+        core = self.core
+        if core.halted:
+            raise CpuFault("core is halted")
+        t_s = self.elapsed_s()
+        if self._trip_time_s is not None and t_s >= self._trip_time_s:
+            self.brownout_tripped = True
+            if OBS.enabled:
+                OBS.event("glitch.brownout-reset", time_s=t_s)
+            raise BrownOutReset(self._trip_time_s)
+        rail_v = self.waveform.voltage_at(t_s)
+        if rail_v < self.min_rail_v:
+            self.min_rail_v = rail_v
+        kind = self.model.sample(rail_v, self._rng)
+        if kind is None:
+            core.step()
+            return
+        self.fault_counts[kind.value] += 1
+        if OBS.enabled:
+            OBS.counter_inc("glitch.faults", kind=kind.value)
+        if kind is FaultKind.SKIP:
+            self._fault_skip()
+        elif kind is FaultKind.CORRUPT_RESULT:
+            self._fault_corrupt_result()
+        else:
+            self._fault_corrupt_fetch()
+
+    def run(self, max_steps: int = 10_000) -> InjectionResult:
+        """Step until HLT, a crash, a reset, or the step budget."""
+        termination = "hung"
+        detail = ""
+        try:
+            for _ in range(max_steps):
+                if self.core.halted:
+                    termination = "halted"
+                    break
+                self.step()
+            else:
+                detail = f"no HLT within {max_steps} steps"
+        except BrownOutReset as reset:
+            termination = "reset"
+            detail = str(reset)
+        except ReproError as error:
+            termination = "crashed"
+            detail = str(error)
+        return InjectionResult(
+            termination=termination,
+            instructions=self.core.instructions_retired
+            - self._start_retired,
+            faults=dict(self.fault_counts),
+            min_rail_v=self.min_rail_v,
+            detail=detail,
+        )
+
+    # ------------------------------------------------------------------
+    # Fault mechanics
+    # ------------------------------------------------------------------
+
+    def _peek_raw(self) -> bytes | None:
+        """The next instruction's true encoding, without touching caches."""
+        try:
+            return self.core.memory_map.read_block(self.core.pc, 4)
+        except ReproError:
+            return None
+
+    def _fault_skip(self) -> None:
+        """The instruction issues but never executes; PC walks past it."""
+        self.core.pc += 4
+        self.core.instructions_retired += 1
+
+    def _fault_corrupt_result(self) -> None:
+        """Execute normally, then flip one bit of the destination register.
+
+        Instructions without a GPR destination (stores, branches,
+        barriers) execute unharmed — the latched glitch hit a path that
+        was not exercised.  The bit draw happens regardless, keeping
+        the RNG stream aligned with the instruction index.
+        """
+        raw = self._peek_raw()
+        self.core.step()
+        bit = int(self._rng.integers(0, 64))
+        if raw is None:
+            return
+        instr = decode(raw)
+        if instr.opcode in _REGISTER_WRITERS and instr.a != XZR:
+            flipped = self.core.read_x(instr.a) ^ (1 << bit)
+            self.core.write_x(instr.a, flipped)
+
+    def _fault_corrupt_fetch(self) -> None:
+        """Flip one bit of the fetched encoding before decode."""
+        raw = self._peek_raw()
+        if raw is None:
+            self.core.step()
+            return
+        bit = int(self._rng.integers(0, 32))
+        corrupted = bytearray(raw)
+        corrupted[bit // 8] ^= 1 << (bit % 8)
+        try:
+            instr = decode(bytes(corrupted))
+        except CpuFault:
+            raise CpuFault(
+                f"glitched fetch at pc={self.core.pc:#x} decoded to an "
+                f"undefined instruction"
+            ) from None
+        self.core.fetch_override = instr
+        self.core.step()
+
+
+class GlitchedInterpretedProcess(InterpretedProcess):
+    """An OS process whose instruction stream runs under the injector.
+
+    Drop-in for :class:`~repro.osim.process.InterpretedProcess`: the
+    kernel schedules it normally (and its cache noise interferes
+    normally), but every quantum steps through a
+    :class:`GlitchInjector`.  ``outcome`` records how the victim ended:
+    ``halted``, ``crashed``, or ``reset``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        core_index: int,
+        machine_code: bytes,
+        load_addr: int,
+        waveform: GlitchWaveform,
+        model: FaultModel,
+        rng: np.random.Generator,
+        instruction_period_s: float = DEFAULT_INSTRUCTION_PERIOD_S,
+        brownout: BrownOutDetector | None = None,
+        steps_per_quantum: int = 64,
+    ) -> None:
+        super().__init__(
+            name, core_index, machine_code, load_addr, steps_per_quantum
+        )
+        self.waveform = waveform
+        self.model = model
+        self.instruction_period_s = instruction_period_s
+        self.brownout = brownout
+        self._rng = rng
+        self._injector: GlitchInjector | None = None
+        self.outcome: str | None = None
+
+    def quantum(self, unit: CoreUnit, memory_map: MemoryMap) -> None:
+        """One scheduler quantum of glitched execution."""
+        if self.finished:
+            return
+        if self._core is None:
+            self._core = Core(unit, memory_map)
+            self._core.load_program(self.machine_code, self.load_addr)
+            self._injector = GlitchInjector(
+                self._core,
+                self.waveform,
+                self.model,
+                self._rng,
+                self.instruction_period_s,
+                self.brownout,
+            )
+        assert self._injector is not None
+        try:
+            for _ in range(self.steps_per_quantum):
+                if self._core.halted:
+                    self.finished = True
+                    self.outcome = "halted"
+                    return
+                self._injector.step()
+        except BrownOutReset:
+            self.finished = True
+            self.outcome = "reset"
+        except ReproError:
+            self.finished = True
+            self.outcome = "crashed"

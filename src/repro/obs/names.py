@@ -32,14 +32,24 @@ EXEC_SPANS: tuple[str, ...] = (
     "exec.shard",
 )
 
+#: Fault-injection spans (``repro.glitch``): one per glitch attempt
+#: (attributes carry pulse offset/width/depth and the outcome).
+GLITCH_SPANS: tuple[str, ...] = (
+    "glitch.attempt",
+)
+
 #: Every statically-named span the simulator may open.
-SPAN_NAMES: frozenset[str] = frozenset(ATTACK_SPANS + EXEC_SPANS)
+SPAN_NAMES: frozenset[str] = frozenset(
+    ATTACK_SPANS + EXEC_SPANS + GLITCH_SPANS
+)
 
 #: Span families named dynamically (``experiment.<name>``, ...).
 SPAN_PREFIXES: tuple[str, ...] = ("experiment.", "benchmark.")
 
 #: Statically-named point-in-time trace events.
-EVENT_NAMES: frozenset[str] = frozenset({"bootrom.scratchpad"})
+EVENT_NAMES: frozenset[str] = frozenset(
+    {"bootrom.scratchpad", "glitch.brownout-reset"}
+)
 
 #: Event families named dynamically (``power.<event-kind>``,
 #: ``exec.<engine-event>`` — fallback/retry/timeout notices).
@@ -79,6 +89,11 @@ METRIC_NAMES: frozenset[str] = frozenset(
         "exec.timeouts",
         "exec.fallbacks",
         "exec.shard_wall_s",
+        # Voltage-glitch fault injection.
+        "glitch.attempts",
+        "glitch.faults",
+        "glitch.outcomes",
+        "glitch.min_rail_v",
     }
 )
 

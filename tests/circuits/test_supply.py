@@ -47,6 +47,18 @@ class TestBenchSupply:
         with pytest.raises(CalibrationError):
             BenchSupply(voltage_v=0.0)
 
+    def test_zero_current_limit_rejected(self):
+        with pytest.raises(CalibrationError):
+            BenchSupply(voltage_v=0.8, current_limit_a=0.0)
+
+    def test_negative_current_limit_rejected(self):
+        with pytest.raises(CalibrationError):
+            BenchSupply(voltage_v=0.8, current_limit_a=-1.0)
+
+    def test_negative_source_resistance_rejected(self):
+        with pytest.raises(CalibrationError):
+            BenchSupply(voltage_v=0.8, source_resistance_ohm=-0.01)
+
 
 class TestVoltageProbe:
     def test_attach_at_matching_voltage(self):

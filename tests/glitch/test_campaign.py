@@ -1,0 +1,129 @@
+"""Parameter-search campaigns: classification, maps, and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GlitchError
+from repro.exec import execute
+from repro.glitch.campaign import (
+    DEFAULT_SPEC,
+    LEGS,
+    OUTCOMES,
+    CampaignResult,
+    CampaignSpec,
+    GlitchAttempt,
+    run_point,
+    shard_plan,
+)
+from repro.units import nanoseconds
+
+#: A deliberately tiny spec so campaign tests stay fast; the offsets
+#: bracket the PIN guard (retired instruction ~41 at 10 ns).
+SMALL_SPEC = CampaignSpec(
+    offsets_s=(0.0, nanoseconds(360)),
+    widths_s=(nanoseconds(40),),
+    depths_v=(0.25, 0.55),
+    repeats=2,
+    random_points=2,
+)
+
+
+class TestCampaignSpec:
+    def test_grid_enumeration_order_is_stable(self):
+        points = SMALL_SPEC.grid_points()
+        assert len(points) == 4
+        assert points[0] == (0.0, nanoseconds(40), 0.25)
+        assert points[-1] == (nanoseconds(360), nanoseconds(40), 0.55)
+
+    def test_random_pulses_depend_only_on_seed(self):
+        assert SMALL_SPEC.random_pulses(5) == SMALL_SPEC.random_pulses(5)
+        assert SMALL_SPEC.random_pulses(5) != SMALL_SPEC.random_pulses(6)
+
+    def test_random_pulses_stay_in_bounding_box(self):
+        for offset, width, depth in SMALL_SPEC.random_pulses(9):
+            assert 0.0 <= offset <= nanoseconds(360)
+            assert width == pytest.approx(nanoseconds(40))
+            assert 0.25 <= depth <= 0.55
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(GlitchError):
+            CampaignSpec(offsets_s=(), widths_s=(1e-9,), depths_v=(0.3,))
+
+    def test_unknown_leg_rejected(self):
+        with pytest.raises(GlitchError):
+            CampaignSpec(
+                offsets_s=(0.0,),
+                widths_s=(1e-9,),
+                depths_v=(0.3,),
+                legs=("lasers",),
+            )
+
+    def test_brownout_only_on_protected_leg(self):
+        assert SMALL_SPEC.brownout("unprotected") is None
+        assert SMALL_SPEC.brownout("brownout") is not None
+
+
+class TestRunPoint:
+    def test_shallow_pulse_is_always_normal(self):
+        attempts = run_point(
+            3, "unprotected", "grid", "g0",
+            0.0, nanoseconds(20), 0.1, 2, SMALL_SPEC,
+        )
+        assert [a.outcome for a in attempts] == ["normal", "normal"]
+        assert all(a.termination == "halted" for a in attempts)
+        assert all(sum(a.faults.values()) == 0 for a in attempts)
+
+    def test_deep_pulse_on_brownout_leg_resets(self):
+        attempts = run_point(
+            3, "brownout", "grid", "g1",
+            nanoseconds(100), nanoseconds(200), 0.55, 2, SMALL_SPEC,
+        )
+        assert all(a.outcome == "reset" for a in attempts)
+
+    def test_point_is_reproducible(self):
+        kwargs = (
+            7, "unprotected", "grid", "g2",
+            nanoseconds(360), nanoseconds(40), 0.55, 3, SMALL_SPEC,
+        )
+        first = run_point(*kwargs)
+        second = run_point(*kwargs)
+        assert first == second
+
+
+class TestCampaignResult:
+    @pytest.fixture(scope="class")
+    def result(self):
+        merged = execute(shard_plan(1234, SMALL_SPEC), jobs=1)
+        attempts = [a for unit in merged for a in unit]
+        return CampaignResult(SMALL_SPEC, attempts)
+
+    def test_attempt_counts(self, result):
+        # 4 grid points x 2 repeats + 2 random singles, per leg.
+        for leg in LEGS:
+            assert len(result.leg_attempts(leg)) == 10
+
+    def test_outcome_rates_sum_to_one(self, result):
+        for leg in LEGS:
+            rates = result.outcome_rates(leg)
+            assert set(rates) == set(OUTCOMES)
+            assert sum(rates.values()) == pytest.approx(1.0)
+
+    def test_success_map_shape_and_range(self, result):
+        success = result.success_map("unprotected")
+        assert success.shape == (2, 1)
+        assert np.all((success >= 0.0) & (success <= 1.0))
+
+    def test_sharded_execution_is_byte_identical(self):
+        serial = execute(shard_plan(1234, SMALL_SPEC), jobs=1)
+        parallel = execute(shard_plan(1234, SMALL_SPEC), jobs=4)
+        assert serial == parallel
+
+
+class TestDefaultSpec:
+    def test_default_grid_covers_the_guard_window(self):
+        # The PIN guard retires ~410 ns in; the offset axis must reach
+        # into the 350-410 ns neighbourhood for the campaign to find it.
+        assert max(DEFAULT_SPEC.offsets_s) >= nanoseconds(350)
+
+    def test_both_legs_present(self):
+        assert DEFAULT_SPEC.legs == LEGS

@@ -1,0 +1,86 @@
+"""Differential fault analysis of the glitched on-chip AES."""
+
+import pytest
+
+from repro.crypto.aes import encrypt_block, expand_key
+from repro.errors import GlitchError
+from repro.glitch.dfa import (
+    aes_glitch_dfa,
+    glitched_encrypt,
+    invert_aes128_schedule,
+    recover_last_round_key,
+)
+from repro.rng import generator
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+PLAINTEXT = b"disk sector 0000"
+
+
+class TestGlitchedEncrypt:
+    def test_zero_probability_matches_clean_aes(self):
+        schedule = expand_key(KEY)
+        rng = generator(1, "dfa", "clean")
+        assert glitched_encrypt(schedule, PLAINTEXT, rng, 0.0) == encrypt_block(
+            KEY, PLAINTEXT
+        )
+
+    def test_certain_fault_changes_exactly_one_byte(self):
+        schedule = expand_key(KEY)
+        correct = encrypt_block(KEY, PLAINTEXT)
+        rng = generator(1, "dfa", "faulty")
+        for _ in range(32):
+            faulty = glitched_encrypt(schedule, PLAINTEXT, rng, 1.0)
+            diff = [i for i in range(16) if faulty[i] != correct[i]]
+            assert len(diff) == 1
+
+    def test_invalid_probability_rejected(self):
+        schedule = expand_key(KEY)
+        rng = generator(1, "dfa", "bad")
+        with pytest.raises(GlitchError):
+            glitched_encrypt(schedule, PLAINTEXT, rng, 1.5)
+
+
+class TestRecovery:
+    def test_recovers_k10_from_collected_faults(self):
+        schedule = expand_key(KEY)
+        correct = encrypt_block(KEY, PLAINTEXT)
+        rng = generator(2, "dfa", "collect")
+        faulty = [
+            glitched_encrypt(schedule, PLAINTEXT, rng, 1.0)
+            for _ in range(400)
+        ]
+        recovered = recover_last_round_key(correct, faulty)
+        assert bytes(recovered) == schedule[-1]
+
+    def test_insufficient_faults_leave_ambiguity(self):
+        schedule = expand_key(KEY)
+        correct = encrypt_block(KEY, PLAINTEXT)
+        rng = generator(2, "dfa", "few")
+        faulty = [glitched_encrypt(schedule, PLAINTEXT, rng, 1.0)]
+        recovered = recover_last_round_key(correct, faulty)
+        assert any(byte is None for byte in recovered)
+
+    def test_schedule_inversion_roundtrips(self):
+        k10 = expand_key(KEY)[-1]
+        assert invert_aes128_schedule(k10) == KEY
+
+    def test_schedule_inversion_random_keys(self):
+        rng = generator(3, "dfa", "roundtrip")
+        for _ in range(5):
+            key = bytes(int(b) for b in rng.integers(0, 256, size=16))
+            assert invert_aes128_schedule(expand_key(key)[-1]) == key
+
+
+class TestEndToEnd:
+    def test_full_pipeline_recovers_the_key(self):
+        result = aes_glitch_dfa(seed=2022)
+        assert result.bytes_recovered >= 1
+        assert result.recovered_key == result.true_key
+        assert result.key_correct
+
+    def test_run_is_deterministic(self):
+        first = aes_glitch_dfa(seed=77)
+        second = aes_glitch_dfa(seed=77)
+        assert first.correct_ciphertext == second.correct_ciphertext
+        assert first.faulty_ciphertexts == second.faulty_ciphertexts
+        assert first.recovered_key == second.recovered_key

@@ -1,0 +1,109 @@
+"""The voltage→fault mapping and the brown-out countermeasure."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.passives import DecouplingNetwork
+from repro.circuits.supply import BenchSupply
+from repro.errors import CalibrationError
+from repro.glitch.faultmodel import (
+    BrownOutDetector,
+    FaultKind,
+    FaultModel,
+    default_fault_model,
+)
+from repro.glitch.waveform import GlitchPulse, die_waveform
+from repro.rng import generator
+from repro.units import nanoseconds
+
+MODEL = default_fault_model(0.8)
+
+
+class TestFaultModel:
+    def test_no_faults_above_onset(self):
+        assert MODEL.fault_probability(0.8) == 0.0
+        assert MODEL.fault_probability(MODEL.fault_onset_v) == 0.0
+
+    def test_certain_fault_below_floor(self):
+        assert MODEL.fault_probability(MODEL.logic_floor_v) == 1.0
+        assert MODEL.fault_probability(0.1) == 1.0
+
+    def test_probability_monotonic_in_undervolt(self):
+        voltages = np.linspace(MODEL.logic_floor_v, MODEL.fault_onset_v, 20)
+        probabilities = [MODEL.fault_probability(float(v)) for v in voltages]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_thresholds_sit_above_sram_retention(self):
+        # The domain-physics split: computation faults long before
+        # stored state is at risk (SRAM DRV ~0.25 V on this rail).
+        assert MODEL.logic_floor_v > 0.3
+
+    def test_sample_never_faults_at_nominal(self):
+        rng = generator(1, "fm", "nominal")
+        assert all(MODEL.sample(0.8, rng) is None for _ in range(100))
+
+    def test_sample_always_faults_below_floor(self):
+        rng = generator(1, "fm", "floor")
+        kinds = [MODEL.sample(0.2, rng) for _ in range(300)]
+        assert all(kind is not None for kind in kinds)
+        # All three kinds occur with the default weights.
+        assert {kind for kind in kinds} == set(FaultKind)
+
+    def test_sample_is_deterministic_per_stream(self):
+        first = [
+            MODEL.sample(0.5, generator(7, "fm", str(i)))
+            for i in range(20)
+        ]
+        second = [
+            MODEL.sample(0.5, generator(7, "fm", str(i)))
+            for i in range(20)
+        ]
+        assert first == second
+
+    def test_inverted_thresholds_rejected(self):
+        with pytest.raises(CalibrationError):
+            FaultModel(nominal_v=0.8, fault_onset_v=0.4, logic_floor_v=0.6)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(CalibrationError):
+            FaultModel(
+                nominal_v=0.8,
+                fault_onset_v=0.64,
+                logic_floor_v=0.44,
+                skip_weight=-0.1,
+            )
+
+
+def _wave(width_ns: float, depth_v: float):
+    return die_waveform(
+        GlitchPulse(0.0, nanoseconds(width_ns), depth_v),
+        BenchSupply(voltage_v=0.8, current_limit_a=5.0),
+        DecouplingNetwork(capacitance_f=470e-9, esr_ohm=0.065),
+    )
+
+
+class TestBrownOutDetector:
+    def test_long_deep_glitch_trips(self):
+        detector = BrownOutDetector(threshold_v=0.66)
+        trip = detector.trip_time(_wave(200, 0.5))
+        assert trip is not None
+        assert trip >= detector.response_time_s
+
+    def test_short_glitch_slips_under(self):
+        detector = BrownOutDetector(threshold_v=0.66)
+        assert detector.trip_time(_wave(10, 0.5)) is None
+
+    def test_shallow_glitch_never_crosses(self):
+        detector = BrownOutDetector(threshold_v=0.66)
+        assert detector.trip_time(_wave(400, 0.1)) is None
+
+    def test_faster_detector_catches_shorter_glitches(self):
+        slow = BrownOutDetector(0.66, response_time_s=nanoseconds(80))
+        fast = BrownOutDetector(0.66, response_time_s=nanoseconds(10))
+        wave = _wave(40, 0.5)  # below threshold for ~64 ns
+        assert slow.trip_time(wave) is None
+        assert fast.trip_time(wave) is not None
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(CalibrationError):
+            BrownOutDetector(threshold_v=0.0)

@@ -1,0 +1,89 @@
+"""Glitch pulse shapes and the RC-filtered die-seen waveform."""
+
+import pytest
+
+from repro.circuits.passives import DecouplingNetwork
+from repro.circuits.supply import BenchSupply
+from repro.errors import CalibrationError
+from repro.glitch.waveform import GlitchPulse, die_waveform
+from repro.units import nanoseconds
+
+
+def _supply() -> BenchSupply:
+    return BenchSupply(voltage_v=0.8, current_limit_a=5.0)
+
+
+def _decoupling(capacitance_f: float = 470e-9) -> DecouplingNetwork:
+    return DecouplingNetwork(capacitance_f=capacitance_f, esr_ohm=0.065)
+
+
+class TestGlitchPulse:
+    def test_drive_voltage_reaches_full_depth(self):
+        pulse = GlitchPulse(
+            offset_s=nanoseconds(100),
+            width_s=nanoseconds(50),
+            depth_v=0.5,
+        )
+        mid = pulse.offset_s + pulse.rise_s + pulse.width_s / 2
+        assert pulse.drive_voltage(mid, 0.8) == pytest.approx(0.3)
+
+    def test_drive_voltage_nominal_outside_window(self):
+        pulse = GlitchPulse(nanoseconds(100), nanoseconds(50), 0.5)
+        assert pulse.drive_voltage(0.0, 0.8) == 0.8
+        assert pulse.drive_voltage(pulse.end_s + nanoseconds(1), 0.8) == 0.8
+
+    def test_edges_ramp_linearly(self):
+        pulse = GlitchPulse(
+            nanoseconds(100), nanoseconds(50), 0.5,
+            rise_s=nanoseconds(10),
+        )
+        half_edge = pulse.offset_s + nanoseconds(5)
+        assert pulse.drive_voltage(half_edge, 0.8) == pytest.approx(0.55)
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(CalibrationError):
+            GlitchPulse(offset_s=-1e-9, width_s=nanoseconds(10), depth_v=0.2)
+        with pytest.raises(CalibrationError):
+            GlitchPulse(offset_s=0.0, width_s=0.0, depth_v=0.2)
+        with pytest.raises(CalibrationError):
+            GlitchPulse(offset_s=0.0, width_s=nanoseconds(10), depth_v=0.0)
+
+
+class TestDieWaveform:
+    def test_decoupling_attenuates_short_pulses(self):
+        deep_drive = 0.5
+        short = GlitchPulse(0.0, nanoseconds(10), deep_drive)
+        wide = GlitchPulse(0.0, nanoseconds(400), deep_drive)
+        short_wave = die_waveform(short, _supply(), _decoupling())
+        wide_wave = die_waveform(wide, _supply(), _decoupling())
+        # The wide pulse reaches (almost) full depth; the short one is
+        # filtered well short of it by the same RC.
+        assert wide_wave.minimum() == pytest.approx(0.3, abs=0.02)
+        assert short_wave.minimum() > wide_wave.minimum() + 0.1
+
+    def test_bigger_capacitance_filters_harder(self):
+        pulse = GlitchPulse(0.0, nanoseconds(30), 0.5)
+        small = die_waveform(pulse, _supply(), _decoupling(100e-9))
+        large = die_waveform(pulse, _supply(), _decoupling(2000e-9))
+        assert large.minimum() > small.minimum()
+
+    def test_voltage_recovers_to_nominal(self):
+        pulse = GlitchPulse(nanoseconds(20), nanoseconds(30), 0.5)
+        wave = die_waveform(pulse, _supply(), _decoupling())
+        assert wave.voltage_at(wave.time_s[-1]) == pytest.approx(0.8, abs=0.01)
+        # Past the sampled window the rail is nominal by definition.
+        assert wave.voltage_at(1.0) == 0.8
+
+    def test_time_below_threshold_grows_with_width(self):
+        narrow = die_waveform(
+            GlitchPulse(0.0, nanoseconds(40), 0.5), _supply(), _decoupling()
+        )
+        wide = die_waveform(
+            GlitchPulse(0.0, nanoseconds(120), 0.5), _supply(), _decoupling()
+        )
+        assert wide.time_below(0.6) > narrow.time_below(0.6)
+
+    def test_depth_below_supply_rejected(self):
+        pulse = GlitchPulse(0.0, nanoseconds(30), 0.9)
+        with pytest.raises(CalibrationError):
+            die_waveform(pulse, _supply(), _decoupling())
