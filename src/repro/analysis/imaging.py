@@ -11,7 +11,7 @@ from pathlib import Path
 
 import numpy as np
 
-from ..errors import ReproError
+from ..errors import AnalysisError
 
 
 def bit_matrix(data: bytes | np.ndarray, width: int) -> np.ndarray:
@@ -21,7 +21,7 @@ def bit_matrix(data: bytes | np.ndarray, width: int) -> np.ndarray:
     paper crops its snapshots.
     """
     if width <= 0:
-        raise ReproError("width must be positive")
+        raise AnalysisError("width must be positive")
     if isinstance(data, np.ndarray):
         bits = data.astype(np.uint8) & 1
     else:
@@ -30,7 +30,7 @@ def bit_matrix(data: bytes | np.ndarray, width: int) -> np.ndarray:
         )
     rows = bits.size // width
     if rows == 0:
-        raise ReproError(f"image has fewer than {width} bits")
+        raise AnalysisError(f"image has fewer than {width} bits")
     return bits[: rows * width].reshape(rows, width)
 
 
@@ -43,7 +43,7 @@ def ones_fraction(data: bytes | np.ndarray) -> float:
             np.frombuffer(bytes(data), dtype=np.uint8), bitorder="little"
         )
     if bits.size == 0:
-        raise ReproError("empty image")
+        raise AnalysisError("empty image")
     return float(bits.mean())
 
 
@@ -102,11 +102,26 @@ def write_gray_pgm(
     glitch-campaign success map reads like the paper's bit snapshots:
     dark = signal).
     """
-    matrix = np.asarray(values, dtype=np.float64)
-    if matrix.ndim != 2 or matrix.size == 0:
-        raise ReproError("value matrix must be 2-D and non-empty")
+    try:
+        matrix = np.asarray(values, dtype=np.float64)
+    except (TypeError, ValueError) as error:
+        # Ragged rows (or non-numeric cells) must surface as the typed
+        # taxonomy error, not numpy's conversion failure.
+        raise AnalysisError(
+            f"value matrix is not a rectangular numeric grid: {error}"
+        ) from error
+    if matrix.ndim != 2:
+        raise AnalysisError(
+            f"value matrix must be 2-D, got {matrix.ndim}-D "
+            f"shape {matrix.shape}"
+        )
+    if matrix.size == 0:
+        raise AnalysisError(
+            f"value matrix is empty (shape {matrix.shape}); nothing to "
+            f"render"
+        )
     if scale <= 0:
-        raise ReproError("scale must be positive")
+        raise AnalysisError("scale must be positive")
     clipped = np.clip(matrix, 0.0, 1.0)
     pixels = ((1.0 - clipped) * 255.0).astype(np.uint8)
     pixels = np.repeat(np.repeat(pixels, scale, axis=0), scale, axis=1)

@@ -18,6 +18,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..errors import PowerError
 from .passives import DecouplingNetwork, SupplyLineParasitics
 from .pmic import Pmic
@@ -39,6 +41,37 @@ class TestPad:
     name: str
     net_name: str
     description: str = ""
+
+
+@dataclass(frozen=True)
+class ContactNoise:
+    """Probe-tip contact imperfection at a test pad.
+
+    A hand-landed probe never makes the same contact twice: oxide,
+    flux residue, and tip pressure put a lognormal-ish spread on the
+    contact resistance.  The model is a base resistance plus a
+    half-normal jitter (resistance only ever gets *worse* than the
+    clean-contact base), redrawn per landing from a dedicated
+    ``rng.spawn`` stream.
+    """
+
+    base_resistance_ohm: float = 0.0
+    jitter_ohm: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_resistance_ohm < 0.0:
+            raise PowerError("contact resistance cannot be negative")
+        if self.jitter_ohm < 0.0:
+            raise PowerError("contact jitter cannot be negative")
+
+    def sample_resistance_ohm(self, rng: np.random.Generator) -> float:
+        """One landing's realised contact resistance.
+
+        Always draws exactly one variate so a zero-jitter profile keeps
+        the same stream position as a noisy one.
+        """
+        excess = abs(float(rng.normal(0.0, 1.0))) * self.jitter_ohm
+        return self.base_resistance_ohm + excess
 
 
 @dataclass

@@ -9,7 +9,9 @@ impedance — a ">3 A bench supply" succeeds; a feeble probe loses bits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+
+import numpy as np
 
 from ..errors import CalibrationError, ProbeError
 from ..units import milliohms
@@ -72,6 +74,64 @@ class BenchSupply:
             # Current limiting: the supply folds back toward zero volts.
             return 0.0
         return self.voltage_v - load_a * self.source_resistance_ohm
+
+
+@dataclass(frozen=True)
+class SupplyNoise:
+    """Set-point imperfection of a real bench supply.
+
+    ``setpoint_tolerance_v`` bounds the programming error: a supply set
+    to 0.800 V actually lands uniformly within ±tolerance of it (the
+    datasheet's "programming accuracy").  ``drift_v_per_s`` bounds a
+    linear output drift over a hold — thermal settling of the sense
+    loop — whose rate is drawn once per attach and accumulates over the
+    hold time.  Both draws come from a dedicated ``rng.spawn`` stream,
+    so a noisy supply is exactly reproducible from the rig seed.
+    """
+
+    setpoint_tolerance_v: float = 0.0
+    drift_v_per_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.setpoint_tolerance_v < 0.0:
+            raise CalibrationError("set-point tolerance cannot be negative")
+        if self.drift_v_per_s < 0.0:
+            raise CalibrationError("drift rate cannot be negative")
+
+    def sample_setpoint_v(
+        self,
+        nominal_v: float,
+        rng: np.random.Generator,
+        hold_s: float = 0.0,
+    ) -> float:
+        """One attach's realised set-point after error and drift.
+
+        Draws exactly two variates (programming error, drift rate) even
+        when a bound is zero, so enabling one noise term never shifts
+        the stream position of the other.
+        """
+        error_v = float(
+            rng.uniform(-self.setpoint_tolerance_v, self.setpoint_tolerance_v)
+        )
+        drift_rate = float(
+            rng.uniform(-self.drift_v_per_s, self.drift_v_per_s)
+        )
+        realised = nominal_v + error_v + drift_rate * hold_s
+        return max(realised, 1e-6)
+
+    def apply(
+        self,
+        supply: "BenchSupply",
+        rng: np.random.Generator,
+        hold_s: float = 0.0,
+    ) -> "BenchSupply":
+        """A copy of ``supply`` at the realised (imperfect) set-point."""
+        return replace(
+            supply,
+            voltage_v=self.sample_setpoint_v(
+                supply.voltage_v, rng, hold_s=hold_s
+            ),
+        )
 
 
 @dataclass

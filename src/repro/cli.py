@@ -35,8 +35,17 @@ from .core.coldboot import ColdBootAttack
 from .core.report import AttackReport
 from .core.voltboot import VoltBootAttack
 from .devices import DEVICES, build_device, platform_table, probe_table
-from .errors import ReproError
+from .errors import CampaignInterrupted, ReproError
+from .exec import checkpointing
 from .soc.bootrom import BootMedia
+
+#: Process exit codes (documented in docs/robustness.md).
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+#: A checkpointed campaign was interrupted (SIGINT); the partial
+#: journal was written and the run can be completed with ``--resume``.
+EXIT_INTERRUPTED = 3
 
 #: Experiment name -> (module, needs-report-arg) registry for the CLI.
 EXPERIMENTS = {
@@ -58,6 +67,7 @@ EXPERIMENTS = {
     "standby-retention": experiments.standby_retention,
     "policy-ablation": experiments.policy_ablation,
     "glitch-campaign": experiments.glitch_campaign,
+    "noisy-rig": experiments.noisy_rig,
 }
 
 #: Targets the attack command accepts per device.
@@ -105,6 +115,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--seed", type=int, default=2022)
     _add_jobs_flag(experiment)
+    experiment.add_argument(
+        "--checkpoint", metavar="DIR", default=None,
+        help="journal completed work units under DIR so an interrupted "
+        "run can be completed with --resume "
+        "(default DIR: checkpoints/<name>-seed<seed>)",
+    )
+    experiment.add_argument(
+        "--resume", action="store_true",
+        help="resume from an earlier checkpoint journal, running only "
+        "the missing work units (implies --checkpoint)",
+    )
     _add_observability_flags(experiment)
 
     commands.add_parser("list-experiments", help="list experiment names")
@@ -324,7 +345,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if observed and not _configure_observability(args):
         return 2
     try:
-        result = _run_experiment(args, module)
+        if args.checkpoint or args.resume:
+            directory = args.checkpoint or (
+                f"checkpoints/{args.name}-seed{args.seed}"
+            )
+            with checkpointing(directory, resume=args.resume):
+                result = _run_experiment(args, module)
+        else:
+            result = _run_experiment(args, module)
         report = module.report(result)
         if args.json:
             doc: dict[str, object] = {
@@ -364,10 +392,32 @@ def main(argv: Sequence[str] | None = None) -> int:
             for path in render_all(args.out, seed=args.seed, jobs=args.jobs):
                 print(path)
             return 0
+    except CampaignInterrupted as error:
+        print(f"interrupted: {error}", file=sys.stderr)
+        resume_cmd = _resume_hint(args)
+        print(
+            f"hint: the journal is crash-safe — rerun with {resume_cmd} "
+            f"to complete only the missing work units",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        return EXIT_FAILURE
     except OSError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
-    return 2  # pragma: no cover - argparse enforces the choices
+        return EXIT_USAGE
+    return EXIT_USAGE  # pragma: no cover - argparse enforces the choices
+
+
+def _resume_hint(args: argparse.Namespace) -> str:
+    """The exact rerun command to print after an interruption."""
+    parts = [f"`repro experiment {getattr(args, 'name', '<name>')}"]
+    seed = getattr(args, "seed", None)
+    if seed is not None:
+        parts.append(f"--seed {seed}")
+    checkpoint = getattr(args, "checkpoint", None)
+    if checkpoint:
+        parts.append(f"--checkpoint {checkpoint}")
+    parts.append("--resume`")
+    return " ".join(parts)

@@ -11,6 +11,7 @@ exceeds the drooped rail will be lost.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from ..circuits.pdn import TestPad
@@ -34,21 +35,45 @@ class ProbePlan:
     required_current_a: float
 
     def recommended_supply(
-        self, current_limit_a: float | None = None
+        self,
+        current_limit_a: float | None = None,
+        set_voltage_v: float | None = None,
+        contact_resistance_ohm: float = 0.0,
     ) -> BenchSupply:
         """Build a bench supply matching the plan.
 
         ``current_limit_a`` overrides the sized limit — the probe-sweep
         experiment uses this to study under-provisioned supplies.
+        ``set_voltage_v`` overrides the planned set-point (the resilient
+        driver's adaptive re-search, and imperfect supplies via
+        :class:`~repro.circuits.supply.SupplyNoise`).
+        ``contact_resistance_ohm`` adds one landing's realised probe
+        contact resistance (:class:`~repro.circuits.pdn.ContactNoise`)
+        in series with the supply's own source resistance.
         """
         limit = (
             self.required_current_a
             if current_limit_a is None
             else current_limit_a
         )
-        return BenchSupply(
-            voltage_v=self.set_voltage_v, current_limit_a=limit
+        supply = BenchSupply(
+            voltage_v=(
+                self.set_voltage_v
+                if set_voltage_v is None
+                else set_voltage_v
+            ),
+            current_limit_a=limit,
         )
+        if contact_resistance_ohm < 0.0:
+            raise AttackError("contact resistance cannot be negative")
+        if contact_resistance_ohm:
+            supply = dataclasses.replace(
+                supply,
+                source_resistance_ohm=(
+                    supply.source_resistance_ohm + contact_resistance_ohm
+                ),
+            )
+        return supply
 
     def describe(self) -> str:
         """Human-readable summary for attack transcripts."""

@@ -90,6 +90,49 @@ class ShardError(ExecError):
         self.cause = cause
 
 
+class AnalysisError(ReproError):
+    """An analysis helper was fed data it cannot process (empty or
+    ragged grids, images too small for the requested geometry, ...)."""
+
+
+class ResilienceError(ReproError):
+    """The resilient attack driver or its voters were misused.
+
+    Raised for *programming* errors only (empty read sets, mismatched
+    read lengths, invalid policies); attack-level failures degrade into
+    a partial :class:`~repro.resilience.driver.RecoveryReport` instead.
+    """
+
+
+class CheckpointError(ExecError):
+    """A shard journal could not be opened, parsed, or matched.
+
+    Covers corrupted headers, plan fingerprints that do not match the
+    journal being resumed, and attempts to start a fresh run on top of
+    an existing journal without ``--resume``.
+    """
+
+
+class CampaignInterrupted(ExecError):
+    """A checkpointed run was interrupted before all shards completed.
+
+    Raised on SIGINT (KeyboardInterrupt) by the execution engine after
+    the shard journal has been flushed, so the CLI can exit with the
+    documented ``EXIT_INTERRUPTED`` code and point at ``--resume``.
+    Carries the journal path and progress so the message can say
+    exactly how much work is banked.
+    """
+
+    def __init__(self, journal_path: str, done: int, total: int) -> None:
+        super().__init__(
+            f"interrupted with {done}/{total} unit(s) checkpointed "
+            f"at {journal_path}"
+        )
+        self.journal_path = journal_path
+        self.done = done
+        self.total = total
+
+
 class GlitchError(ReproError):
     """The fault-injection subsystem was misconfigured or misused."""
 

@@ -21,15 +21,31 @@ See ``docs/determinism.md`` for the full contract and
 
 from __future__ import annotations
 
-from ..errors import ExecError, ShardError
+from ..errors import CampaignInterrupted, CheckpointError, ExecError, ShardError
 from .engine import execute
+from .journal import CheckpointJournal, UnitRecord, plan_fingerprint
 from .plan import CHUNKS_PER_JOB, ShardPlan, WorkUnit
+from .runtime import (
+    CheckpointPolicy,
+    checkpoint_policy,
+    checkpointing,
+    set_checkpoint_policy,
+)
 
 __all__ = [
     "CHUNKS_PER_JOB",
+    "CampaignInterrupted",
+    "CheckpointError",
+    "CheckpointJournal",
+    "CheckpointPolicy",
     "ExecError",
     "ShardError",
     "ShardPlan",
+    "UnitRecord",
     "WorkUnit",
+    "checkpoint_policy",
+    "checkpointing",
     "execute",
+    "plan_fingerprint",
+    "set_checkpoint_policy",
 ]

@@ -29,21 +29,29 @@ from __future__ import annotations
 
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
-from ..errors import ExecError, ShardError
-from ..obs import OBS
+from ..errors import CampaignInterrupted, ExecError, ShardError
+from ..obs import OBS, MetricsRegistry, Tracer
 from ..obs.timing import wall_clock
+from . import runtime
+from .journal import CheckpointJournal, UnitRecord, plan_fingerprint
 from .plan import ShardPlan, WorkUnit
 
 
 @dataclass
 class _ShardTask:
-    """What ships to a worker: one shard of units plus capture intent."""
+    """What ships to a worker: one shard of units plus capture intent.
+
+    ``per_unit`` switches the worker to checkpoint-grade capture: one
+    metrics dump and span batch *per unit* (instead of per shard), so
+    the parent can journal each unit independently.
+    """
 
     shard_index: int
     units: tuple[WorkUnit, ...]
     capture: bool
+    per_unit: bool = False
 
     def describe(self) -> str:
         """Label for errors/events: the shard and its unit labels."""
@@ -60,6 +68,41 @@ class _ShardOutcome:
     wall_s: float
     metrics: dict[str, Any] | None = None
     spans: list[dict[str, Any]] = field(default_factory=list)
+    unit_records: list[UnitRecord] | None = None
+
+
+def _capture_unit(unit: WorkUnit, capture: bool) -> UnitRecord:
+    """Run one unit with its own metrics registry and tracer.
+
+    Used by every checkpoint-mode path — the serial loop, the pool
+    workers, and serial re-attempts — so a unit's captured
+    observability is identical however it was dispatched.  The live
+    registry/tracer are swapped out for the duration (never reset:
+    the parent keeps its open trace writer and collected state).
+    """
+    start = wall_clock()
+    if not capture:
+        return UnitRecord(index=unit.index, result=unit.run(),
+                          wall_s=wall_clock() - start)
+    saved_enabled = OBS.enabled
+    saved_metrics, saved_tracer = OBS.metrics, OBS.tracer
+    OBS.metrics = MetricsRegistry()
+    OBS.tracer = Tracer()
+    OBS.enabled = True
+    try:
+        result = unit.run()
+    finally:
+        metrics = OBS.metrics.dump()
+        spans = [span.to_record() for span in OBS.tracer.finished]
+        OBS.metrics, OBS.tracer = saved_metrics, saved_tracer
+        OBS.enabled = saved_enabled
+    return UnitRecord(
+        index=unit.index,
+        result=result,
+        metrics=metrics,
+        spans=spans,
+        wall_s=wall_clock() - start,
+    )
 
 
 def _shard_worker(task: _ShardTask) -> _ShardOutcome:
@@ -68,6 +111,17 @@ def _shard_worker(task: _ShardTask) -> _ShardOutcome:
     Module-level so the pool can pickle it by reference.
     """
     OBS.quarantine_fork()
+    if task.per_unit:
+        start = wall_clock()
+        records = [_capture_unit(unit, task.capture) for unit in task.units]
+        outcome = _ShardOutcome(
+            shard_index=task.shard_index,
+            results=[(record.index, record.result) for record in records],
+            wall_s=wall_clock() - start,
+            unit_records=records,
+        )
+        OBS.quarantine_fork()
+        return outcome
     if task.capture:
         OBS.configure()
     start = wall_clock()
@@ -109,6 +163,12 @@ def execute(
     the pool (serial re-attempts are not timed — the parent cannot
     interrupt itself); ``retries`` bounds re-attempts per shard before
     :class:`~repro.errors.ShardError` is raised.
+
+    When a checkpoint policy is installed
+    (:mod:`repro.exec.runtime`), the call journals every completed
+    unit to an append-only file and, on resume, runs only the units
+    the journal is missing — with a final metrics state identical to
+    an uninterrupted run.
     """
     jobs = int(jobs)
     if jobs < 1:
@@ -118,12 +178,24 @@ def execute(
     if not len(plan):
         return []
     capture = OBS.enabled
+    policy = runtime.checkpoint_policy()
     with OBS.span("exec.run", jobs=jobs, units=len(plan)):
         if capture:
             OBS.counter_inc("exec.units", len(plan))
             OBS.gauge_set("exec.jobs", jobs)
+        if policy is not None:
+            return _run_checkpointed(
+                plan,
+                jobs,
+                timeout_s=timeout_s,
+                retries=retries,
+                chunk_size=chunk_size,
+                journal_path=runtime.claim_journal_path(),
+                resume=policy.resume,
+                capture=capture,
+            )
         if jobs == 1 or len(plan) == 1:
-            return _run_serial(plan.units)
+            return _run_serial(plan.units, retries=retries)
         shards = plan.shards(jobs, chunk_size)
         tasks = [
             _ShardTask(shard_index=i, units=shard, capture=capture)
@@ -134,11 +206,11 @@ def execute(
         try:
             pool = ProcessPoolExecutor(max_workers=min(jobs, len(tasks)))
         except (OSError, ImportError, RuntimeError, BrokenExecutor) as error:
-            # No pool at all: run everything serially in-process.  This
-            # is a downgrade, not a shard failure, so it does not count
-            # against the retry budget.
+            # No pool at all: run everything serially in-process.  The
+            # downgrade itself is not a shard failure, so it does not
+            # count against the retry budget — units keep theirs.
             _note_fallback(error)
-            return _run_serial(plan.units)
+            return _run_serial(plan.units, retries=retries)
         outcomes, failures = _dispatch(pool, tasks, timeout_s)
         for task, cause in failures:
             outcomes[task.shard_index] = _reattempt(task, retries, cause)
@@ -147,19 +219,189 @@ def execute(
 
 
 # ----------------------------------------------------------------------
+# Checkpointed path (a runtime checkpoint policy is installed)
+# ----------------------------------------------------------------------
+
+
+def _run_checkpointed(
+    plan: ShardPlan,
+    jobs: int,
+    *,
+    timeout_s: float | None,
+    retries: int,
+    chunk_size: int | None,
+    journal_path: str,
+    resume: bool,
+    capture: bool,
+) -> list[Any]:
+    """Execute with an append-only unit journal and optional resume.
+
+    Every path (serial, pool, serial re-attempt) captures metrics and
+    spans *per unit* via :func:`_capture_unit` and merges them back in
+    unit-index order — so an interrupted-then-resumed campaign folds
+    resumed and freshly-run units into exactly the metrics state an
+    uninterrupted run produces, whatever ``jobs`` was either time.
+    """
+    journal = CheckpointJournal(journal_path, plan_fingerprint(plan), len(plan))
+    done = journal.load_resume() if resume else {}
+    # Units always journal their captured metrics/spans — even when the
+    # parent runs unobserved — so a later *observed* resume can still
+    # merge the banked units into a complete manifest.
+    capture_units = True
+    journal.start(fresh=not resume or not done)
+    if capture and done:
+        OBS.counter_inc("exec.resumed_units", len(done))
+        OBS.event(
+            "exec.resume",
+            journal=journal_path,
+            resumed=len(done),
+            total=len(plan),
+        )
+    records: dict[int, UnitRecord] = dict(done)
+    remaining = [unit for unit in plan.units if unit.index not in records]
+
+    def complete(record: UnitRecord) -> None:
+        journal.append(record)
+        records[record.index] = record
+
+    try:
+        if jobs == 1 or len(remaining) <= 1:
+            for unit in remaining:
+                complete(_capture_unit(unit, capture_units))
+        elif remaining:
+            _dispatch_checkpointed(
+                remaining, plan, jobs, timeout_s, retries, chunk_size,
+                capture_units, complete,
+            )
+    except KeyboardInterrupt as error:
+        journal.close()
+        raise CampaignInterrupted(
+            journal_path, len(records), len(plan)
+        ) from error
+    finally:
+        journal.close()
+    if capture:
+        OBS.counter_inc("exec.checkpointed_units", journal.units_written)
+        OBS.gauge_set("exec.journal_bytes", journal.bytes_written)
+    missing = [u.describe() for u in plan.units if u.index not in records]
+    if missing:
+        raise ExecError(
+            f"journal outcomes missing {len(missing)} unit(s): "
+            + ", ".join(missing)
+        )
+    if capture:
+        for index in sorted(records):
+            record = records[index]
+            OBS.histogram_record("exec.shard_wall_s", record.wall_s)
+            if record.metrics is not None:
+                OBS.metrics.merge(record.metrics)
+            for span_record in record.spans:
+                OBS.tracer.adopt_record(span_record)
+    return [records[index].result for index in range(len(plan))]
+
+
+def _dispatch_checkpointed(
+    remaining: Sequence[WorkUnit],
+    plan: ShardPlan,
+    jobs: int,
+    timeout_s: float | None,
+    retries: int,
+    chunk_size: int | None,
+    capture: bool,
+    complete: "Callable[[UnitRecord], None]",
+) -> None:
+    """Pool-dispatch the remaining units with per-unit journalling.
+
+    Each shard's unit records are journalled the moment its future
+    resolves, so progress survives a crash at any point of the
+    campaign.  Failed shards fall back to captured serial re-attempts,
+    like the non-checkpointed engine.
+    """
+    size = plan.chunk_size(jobs, chunk_size)
+    shards = [
+        tuple(remaining[start : start + size])
+        for start in range(0, len(remaining), size)
+    ]
+    tasks = [
+        _ShardTask(shard_index=i, units=shard, capture=capture, per_unit=True)
+        for i, shard in enumerate(shards)
+    ]
+    if capture:
+        OBS.counter_inc("exec.shards", len(tasks))
+
+    def on_outcome(outcome: _ShardOutcome) -> None:
+        for record in outcome.unit_records or []:
+            complete(record)
+
+    try:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(tasks)))
+    except (OSError, ImportError, RuntimeError, BrokenExecutor) as error:
+        _note_fallback(error)
+        for shard in shards:
+            for unit in shard:
+                complete(_capture_unit(unit, capture))
+        return
+    _, failures = _dispatch(pool, tasks, timeout_s, on_outcome=on_outcome)
+    for task, cause in failures:
+        for record in _reattempt_captured(task, retries, cause):
+            complete(record)
+
+
+def _reattempt_captured(
+    task: _ShardTask, retries: int, cause: BaseException
+) -> list[UnitRecord]:
+    """Checkpoint-mode serial re-attempt: per-unit captured records."""
+    attempts = 1  # the pool attempt
+    while attempts <= retries:
+        attempts += 1
+        if OBS.enabled:
+            OBS.counter_inc("exec.retries")
+            OBS.event(
+                "exec.retry", shard=task.describe(), attempt=attempts
+            )
+        try:
+            return [_capture_unit(unit, task.capture) for unit in task.units]
+        except Exception as error:
+            cause = error
+    raise ShardError(task.describe(), attempts, repr(cause)) from cause
+
+
+# ----------------------------------------------------------------------
 # Serial path (jobs=1 and the pool-unavailable fallback)
 # ----------------------------------------------------------------------
 
 
-def _run_serial(units: Sequence[WorkUnit]) -> list[Any]:
+def _run_serial(units: Sequence[WorkUnit], retries: int = 0) -> list[Any]:
     """Run units in order in the current process.
 
     Metrics and spans land directly in the parent registry, so no
-    merge step is needed.
+    merge step is needed.  Failures follow the pool contract: each
+    failing unit is re-attempted up to ``retries`` times with the same
+    ``exec.retries`` counter and ``exec.retry`` events the pool path
+    emits, then raises :class:`~repro.errors.ShardError` — so a
+    ``jobs=1`` run and a ``jobs=N`` run produce the same metrics for
+    the same flaky plan.
     """
     results: dict[int, Any] = {}
     for unit in units:
-        results[unit.index] = unit.run()
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                results[unit.index] = unit.run()
+                break
+            except Exception as error:
+                if attempts > retries:
+                    raise ShardError(
+                        unit.describe(), attempts, repr(error)
+                    ) from error
+                if OBS.enabled:
+                    OBS.counter_inc("exec.retries")
+                    OBS.event(
+                        "exec.retry",
+                        shard=unit.describe(),
+                        attempt=attempts + 1,
+                    )
     return [results[index] for index in range(len(units))]
 
 
@@ -172,6 +414,7 @@ def _dispatch(
     pool: ProcessPoolExecutor,
     tasks: list[_ShardTask],
     timeout_s: float | None,
+    on_outcome: "Callable[[_ShardOutcome], None] | None" = None,
 ) -> tuple[dict[int, _ShardOutcome], list[tuple[_ShardTask, BaseException]]]:
     """Submit every shard to the pool; collect outcomes and failures.
 
@@ -187,14 +430,14 @@ def _dispatch(
         _note_fallback(error)
         pool.shutdown(wait=False, cancel_futures=True)
         submitted = {task.shard_index for task, _ in futures}
-        outcomes, failures = _collect(futures, timeout_s)
+        outcomes, failures = _collect(futures, timeout_s, on_outcome)
         failures.extend(
             (task, error)
             for task in tasks
             if task.shard_index not in submitted
         )
         return outcomes, failures
-    outcomes, failures = _collect(futures, timeout_s)
+    outcomes, failures = _collect(futures, timeout_s, on_outcome)
     # Abandon rather than join: a timed-out worker may still be busy,
     # and the serial re-attempt must not wait for it.
     pool.shutdown(wait=not failures, cancel_futures=bool(failures))
@@ -202,14 +445,24 @@ def _dispatch(
 
 
 def _collect(
-    futures: list[tuple[_ShardTask, Future]], timeout_s: float | None
+    futures: list[tuple[_ShardTask, Future]],
+    timeout_s: float | None,
+    on_outcome: "Callable[[_ShardOutcome], None] | None" = None,
 ) -> tuple[dict[int, _ShardOutcome], list[tuple[_ShardTask, BaseException]]]:
-    """Wait on each shard's future, applying the per-shard timeout."""
+    """Wait on each shard's future, applying the per-shard timeout.
+
+    ``on_outcome`` fires as each shard's outcome lands — the
+    checkpoint path uses it to journal completed units immediately
+    rather than after the whole campaign.
+    """
     outcomes: dict[int, _ShardOutcome] = {}
     failures: list[tuple[_ShardTask, BaseException]] = []
     for task, future in futures:
         try:
-            outcomes[task.shard_index] = future.result(timeout=timeout_s)
+            outcome = future.result(timeout=timeout_s)
+            outcomes[task.shard_index] = outcome
+            if on_outcome is not None:
+                on_outcome(outcome)
         except TimeoutError as error:
             if OBS.enabled:
                 OBS.counter_inc("exec.timeouts")

@@ -1,0 +1,75 @@
+"""Process-global checkpoint policy for :func:`repro.exec.execute`.
+
+Checkpointing is an *operational* concern — the CLI (or a test
+harness) decides it, not the experiment code.  Experiments call
+``execute(plan, jobs=jobs)`` exactly as before; when a policy is
+installed here, every ``execute`` call transparently journals its
+units under the policy's directory and, on ``resume``, completes only
+the missing ones.
+
+Each ``execute`` call in a run claims the next journal path in a
+deterministic sequence (``journal-000.jsonl``, ``journal-001.jsonl``,
+…), so an experiment that executes several plans (e.g. a sweep plus a
+baseline) checkpoints each independently, and a resumed process —
+which replays the same ``execute`` calls in the same order — pairs
+every call back up with its own journal.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import CheckpointError
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """Where journals live and whether to resume from them."""
+
+    directory: str
+    resume: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.directory:
+            raise CheckpointError("checkpoint policy needs a directory")
+
+
+_policy: CheckpointPolicy | None = None
+_claims: int = 0
+
+
+def set_checkpoint_policy(policy: CheckpointPolicy | None) -> None:
+    """Install (or clear) the policy; resets the journal sequence."""
+    global _policy, _claims
+    _policy = policy
+    _claims = 0
+
+
+def checkpoint_policy() -> CheckpointPolicy | None:
+    """The installed policy, if any."""
+    return _policy
+
+
+def claim_journal_path() -> str:
+    """The next ``execute`` call's journal path (creates the dir)."""
+    global _claims
+    if _policy is None:
+        raise CheckpointError("no checkpoint policy installed")
+    os.makedirs(_policy.directory, exist_ok=True)
+    path = os.path.join(_policy.directory, f"journal-{_claims:03d}.jsonl")
+    _claims += 1
+    return path
+
+
+@contextmanager
+def checkpointing(directory: str, resume: bool = False) -> Iterator[None]:
+    """Install a checkpoint policy for a block, restoring the old one."""
+    previous = _policy
+    set_checkpoint_policy(CheckpointPolicy(directory, resume=resume))
+    try:
+        yield
+    finally:
+        set_checkpoint_policy(previous)

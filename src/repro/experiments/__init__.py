@@ -20,6 +20,7 @@ the paper-shaped tables and assert on the result shapes.
 | :mod:`~repro.experiments.countermeasures` | §8 — defense survey |
 | :mod:`~repro.experiments.platforms` | Tables 2 & 3 — platform/pad inventory |
 | :mod:`~repro.experiments.glitch_campaign` | ``repro.glitch`` — voltage-glitch parameter search |
+| :mod:`~repro.experiments.noisy_rig` | ``repro.resilience`` — naive vs resilient driver on a flaky bench |
 """
 
 from . import (
@@ -33,6 +34,7 @@ from . import (
     figure10,
     glitch_campaign,
     microarch_leak,
+    noisy_rig,
     platforms,
     policy_ablation,
     probe_sweep,
@@ -62,4 +64,5 @@ __all__ = [
     "standby_retention",
     "policy_ablation",
     "glitch_campaign",
+    "noisy_rig",
 ]

@@ -39,7 +39,7 @@ from .export import (
     validate_manifest,
     write_json,
 )
-from .manifest import RunManifest
+from .manifest import RunManifest, manifest_fingerprint
 from .metrics import MetricsRegistry
 from .timing import SectionTimer
 from .trace import NULL_SPAN, Span, Tracer
@@ -62,6 +62,7 @@ __all__ = [
     "capture",
     "dumps",
     "read_jsonl",
+    "manifest_fingerprint",
     "validate_manifest",
     "write_json",
 ]

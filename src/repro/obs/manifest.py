@@ -75,21 +75,38 @@ class RunManifest:
         construction, alongside the ``exec.*`` engine metrics they
         influence.
         """
-        doc = self.to_dict(include_timings=False)
-        doc["parameters"] = {
-            k: v
-            for k, v in doc["parameters"].items()
-            if k not in EXECUTION_PARAMETERS
-        }
-        doc["metrics"] = {
-            k: v
-            for k, v in doc["metrics"].items()
-            if not k.startswith("exec.")
-        }
-        canonical = json.dumps(doc, sort_keys=True)
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        return manifest_fingerprint(self.to_dict(include_timings=False))
 
     def validate(self) -> "RunManifest":
         """Schema-check the manifest; returns self for chaining."""
         validate_manifest(self.to_dict())
         return self
+
+
+def manifest_fingerprint(doc: dict[str, Any]) -> str:
+    """Fingerprint a manifest *dict* (e.g. parsed from ``--json``).
+
+    Applies the same normalisation as :meth:`RunManifest.fingerprint`
+    — wall-clock timings, :data:`EXECUTION_PARAMETERS`, and ``exec.*``
+    engine metrics are stripped before hashing — so a manifest hashed
+    from a JSON document compares equal to one hashed in-process.  The
+    chaos-smoke harness relies on this to check an interrupted-then-
+    resumed campaign against an uninterrupted reference run.
+    """
+    doc = dict(doc)
+    doc["phases"] = [
+        {k: v for k, v in phase.items() if k != "wall_s"}
+        for phase in doc.get("phases", [])
+    ]
+    doc["parameters"] = {
+        k: v
+        for k, v in doc.get("parameters", {}).items()
+        if k not in EXECUTION_PARAMETERS
+    }
+    doc["metrics"] = {
+        k: v
+        for k, v in doc.get("metrics", {}).items()
+        if not k.startswith("exec.")
+    }
+    canonical = json.dumps(doc, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -38,9 +38,16 @@ GLITCH_SPANS: tuple[str, ...] = (
     "glitch.attempt",
 )
 
+#: Resilient-driver spans (``repro.resilience``): the whole recovery
+#: (attributes carry the policy and outcome) and each bounded attempt.
+RESILIENCE_SPANS: tuple[str, ...] = (
+    "resilience.recover",
+    "resilience.attempt",
+)
+
 #: Every statically-named span the simulator may open.
 SPAN_NAMES: frozenset[str] = frozenset(
-    ATTACK_SPANS + EXEC_SPANS + GLITCH_SPANS
+    ATTACK_SPANS + EXEC_SPANS + GLITCH_SPANS + RESILIENCE_SPANS
 )
 
 #: Span families named dynamically (``experiment.<name>``, ...).
@@ -52,8 +59,9 @@ EVENT_NAMES: frozenset[str] = frozenset(
 )
 
 #: Event families named dynamically (``power.<event-kind>``,
-#: ``exec.<engine-event>`` — fallback/retry/timeout notices).
-EVENT_PREFIXES: tuple[str, ...] = ("power.", "exec.")
+#: ``exec.<engine-event>`` — fallback/retry/timeout/checkpoint notices,
+#: ``resilience.<driver-event>`` — retry/backoff/degraded notices).
+EVENT_PREFIXES: tuple[str, ...] = ("power.", "exec.", "resilience.")
 
 #: Every statically-named counter/gauge/histogram.
 METRIC_NAMES: frozenset[str] = frozenset(
@@ -89,6 +97,25 @@ METRIC_NAMES: frozenset[str] = frozenset(
         "exec.timeouts",
         "exec.fallbacks",
         "exec.shard_wall_s",
+        # Checkpoint/resume journal.
+        "exec.checkpointed_units",
+        "exec.resumed_units",
+        "exec.journal_bytes",
+        # Imperfect-rig instrumentation noise.
+        "rig.bit_flips",
+        "rig.bits_read",
+        "rig.contact_resistance_ohm",
+        "rig.setpoint_error_v",
+        # Resilient attack driver.
+        "resilience.attempts",
+        "resilience.retries",
+        "resilience.reads",
+        "resilience.backoff_s",
+        "resilience.setpoint_boost_v",
+        "resilience.recovered_fraction",
+        "resilience.confident_fraction",
+        "resilience.mean_confidence",
+        "resilience.degraded",
         # Voltage-glitch fault injection.
         "glitch.attempts",
         "glitch.faults",

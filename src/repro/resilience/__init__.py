@@ -1,0 +1,41 @@
+"""Flaky-rig hardening: noise profiles, retry policies, voting, driver.
+
+The simulator's physics was, until this package, executed on a perfect
+bench.  ``repro.resilience`` models the *imperfect* bench the paper's
+attack actually ran on and provides the machinery to succeed on it
+anyway:
+
+* :mod:`~repro.resilience.rig` — seeded noise profiles covering supply
+  set-point error/drift, probe contact-resistance jitter, and per-bit
+  JTAG/CP15 read errors;
+* :mod:`~repro.resilience.retry` — bounded-backoff retry policies with
+  adaptive set-point re-search;
+* :mod:`~repro.resilience.vote` — per-bit majority voting with a
+  confidence map;
+* :mod:`~repro.resilience.driver` — the resilient attack driver that
+  retries, votes, and degrades gracefully to a partial report.
+"""
+
+from .driver import (
+    SUPPORTED_TARGETS,
+    AttemptRecord,
+    RecoveryReport,
+    ResilientVoltBoot,
+)
+from .retry import RetryPolicy
+from .rig import DEFAULT_NOISY_RIG, IDEAL_RIG, RigNoiseProfile, RigStreams
+from .vote import VoteResult, majority_vote
+
+__all__ = [
+    "AttemptRecord",
+    "DEFAULT_NOISY_RIG",
+    "IDEAL_RIG",
+    "RecoveryReport",
+    "ResilientVoltBoot",
+    "RetryPolicy",
+    "RigNoiseProfile",
+    "RigStreams",
+    "SUPPORTED_TARGETS",
+    "VoteResult",
+    "majority_vote",
+]

@@ -1,0 +1,116 @@
+"""The imperfect-rig model: one profile object, four noise sources.
+
+The paper's §6.1 attack runs on a physical bench where nothing is
+exact: the supply's programmed set-point carries a tolerance and
+drifts over the hold, the hand-landed probe's contact resistance
+changes with every landing, and the JTAG/CP15 debug reads that pull
+the retained image off the die occasionally flip bits.  A
+:class:`RigNoiseProfile` bundles bounds for all four imperfections;
+:meth:`RigNoiseProfile.streams` spawns one child generator per noise
+source **in a fixed order**, so a noisy campaign is byte-reproducible
+from a single seed and invariant to ``--jobs`` sharding.
+
+Two profiles are exported: :data:`IDEAL_RIG` (every bound zero — the
+pre-resilience simulator's perfect bench, bit-identical to not using a
+profile at all) and :data:`DEFAULT_NOISY_RIG`, calibrated so a naive
+single-shot extraction visibly degrades while the resilient driver's
+retry + majority-vote recovery still converges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuits.pdn import ContactNoise
+from ..circuits.supply import SupplyNoise
+from ..rng import spawn
+from ..units import milliohms, millivolts
+from ..soc.readnoise import BitErrorModel
+
+
+@dataclass
+class RigStreams:
+    """Per-attempt child generators, spawned in declaration order."""
+
+    supply: np.random.Generator
+    contact: np.random.Generator
+    jtag: np.random.Generator
+    cp15: np.random.Generator
+
+
+@dataclass(frozen=True)
+class RigNoiseProfile:
+    """Bounds for every modelled bench imperfection.
+
+    ``supply`` perturbs the bench supply's realised set-point
+    (tolerance + drift); ``contact`` jitters the probe-tip contact
+    resistance per landing; the two bit-error rates model imperfect
+    JTAG block reads and CP15 RAMINDEX dump loops respectively.
+    """
+
+    name: str = "ideal"
+    supply: SupplyNoise = SupplyNoise()
+    contact: ContactNoise = ContactNoise()
+    jtag_bit_error_rate: float = 0.0
+    cp15_bit_error_rate: float = 0.0
+
+    def streams(self, parent: np.random.Generator) -> RigStreams:
+        """Spawn the four per-source streams for one attack attempt.
+
+        Always spawns all four, in a fixed order, regardless of which
+        bounds are zero — so tightening one noise term never shifts
+        another term's stream.
+        """
+        return RigStreams(
+            supply=spawn(parent),
+            contact=spawn(parent),
+            jtag=spawn(parent),
+            cp15=spawn(parent),
+        )
+
+    @property
+    def is_ideal(self) -> bool:
+        """True when every noise bound is exactly zero."""
+        return (
+            self.supply.setpoint_tolerance_v <= 0.0
+            and self.supply.drift_v_per_s <= 0.0
+            and self.contact.base_resistance_ohm <= 0.0
+            and self.contact.jitter_ohm <= 0.0
+            and self.jtag_bit_error_rate <= 0.0
+            and self.cp15_bit_error_rate <= 0.0
+        )
+
+    def jtag_noise(self, streams: RigStreams) -> BitErrorModel | None:
+        """A JTAG read-error model over the attempt's jtag stream."""
+        if self.jtag_bit_error_rate <= 0.0:
+            return None
+        return BitErrorModel(self.jtag_bit_error_rate, streams.jtag)
+
+    def cp15_noise(self, streams: RigStreams) -> BitErrorModel | None:
+        """A CP15 read-error model over the attempt's cp15 stream."""
+        if self.cp15_bit_error_rate <= 0.0:
+            return None
+        return BitErrorModel(self.cp15_bit_error_rate, streams.cp15)
+
+
+#: The perfect bench every pre-resilience experiment assumed.
+IDEAL_RIG = RigNoiseProfile()
+
+#: The default flaky bench: ±15 mV set-point programming error with up
+#: to 1 mV/s of drift, 20 mΩ + half-normal 40 mΩ contact jitter, and
+#: ~4e-3 per-bit debug read errors — enough that a single-shot dump of
+#: a cache way is visibly wrong, while five-read majority voting
+#: recovers it almost exactly.
+DEFAULT_NOISY_RIG = RigNoiseProfile(
+    name="default-noisy",
+    supply=SupplyNoise(
+        setpoint_tolerance_v=millivolts(15), drift_v_per_s=millivolts(1)
+    ),
+    contact=ContactNoise(
+        base_resistance_ohm=milliohms(20), jitter_ohm=milliohms(40)
+    ),
+    jtag_bit_error_rate=4e-3,
+    cp15_bit_error_rate=4e-3,
+)

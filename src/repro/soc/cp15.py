@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from ..errors import AccessViolation, SecureAccessViolation
 from .cache import SetAssociativeCache
 from .context import ExecutionContext
+from .readnoise import BitErrorModel
 
 
 class RamId(enum.Enum):
@@ -78,6 +79,19 @@ class Cp15Interface:
         self.trustzone_enforced = trustzone_enforced
         self._pending: _PendingRead | None = None
         self._data_register = b"\x00" * l1d.geometry.line_bytes
+        #: Imperfect-rig model: dump-loop read errors on a rail held at
+        #: retention voltage (arm with :meth:`set_read_noise`).
+        self.read_noise: BitErrorModel | None = None
+
+    def set_read_noise(self, model: BitErrorModel | None) -> None:
+        """Arm (or disarm, with ``None``) the per-bit read-error model.
+
+        The model corrupts only what :meth:`read_data_register` returns
+        — the cache arrays themselves are never modified, so repeated
+        dumps of the same line draw fresh, independent errors (which is
+        exactly what majority-vote multi-read extraction exploits).
+        """
+        self.read_noise = model
 
     def _cache_for(self, ram: RamId) -> SetAssociativeCache:
         if ram in (RamId.L1D_DATA, RamId.L1D_TAG):
@@ -140,6 +154,8 @@ class Cp15Interface:
             entry_bytes = 16
             start = pending.index * entry_bytes
             payload = image[start : start + entry_bytes]
+            if self.read_noise is not None:
+                payload = self.read_noise.corrupt(payload)
             self._data_register = payload
             self._pending = None
             return payload
@@ -156,6 +172,8 @@ class Cp15Interface:
             image = cache.raw_way_image(pending.way)
             start = pending.index * line_bytes
             payload = image[start : start + line_bytes]
+        if self.read_noise is not None:
+            payload = self.read_noise.corrupt(payload)
         self._data_register = payload
         self._pending = None
         return payload

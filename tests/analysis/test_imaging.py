@@ -7,9 +7,10 @@ from repro.analysis.imaging import (
     ascii_bit_image,
     bit_matrix,
     ones_fraction,
+    write_gray_pgm,
     write_pgm,
 )
-from repro.errors import ReproError
+from repro.errors import AnalysisError, ReproError
 
 
 class TestBitMatrix:
@@ -78,3 +79,45 @@ class TestPgm:
         path = write_pgm(b"\xff" * 8, width=64, path=tmp_path / "b.pgm")
         pixels = path.read_bytes().split(b"\n", 3)[3]
         assert set(pixels) == {0}
+
+
+class TestGrayPgm:
+    """Regression: malformed grids raise the typed taxonomy error, not
+    a bare numpy failure (and certainly not a silent bad image)."""
+
+    def test_renders_a_heat_map(self, tmp_path):
+        grid = [[0.0, 1.0], [0.5, 0.25]]
+        path = write_gray_pgm(grid, tmp_path / "heat.pgm", scale=4)
+        raw = path.read_bytes()
+        assert raw.startswith(b"P5\n8 8\n255\n")
+        pixels = raw.split(b"\n", 3)[3]
+        assert pixels[0] == 255  # value 0.0 renders white
+        assert pixels[4] == 0  # value 1.0 renders black
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            [],  # empty grid
+            [[]],  # zero-width rows
+            [[0.1, 0.2], [0.3]],  # ragged rows
+            [0.1, 0.2, 0.3],  # 1-D, not a grid
+            [[0.1, "x"]],  # non-numeric cell
+        ],
+    )
+    def test_malformed_grids_raise_analysis_error(self, tmp_path, bad):
+        with pytest.raises(AnalysisError):
+            write_gray_pgm(bad, tmp_path / "bad.pgm")
+
+    def test_non_positive_scale_rejected(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            write_gray_pgm([[0.5]], tmp_path / "bad.pgm", scale=0)
+
+    def test_error_is_in_the_repro_taxonomy(self, tmp_path):
+        with pytest.raises(ReproError):
+            write_gray_pgm([], tmp_path / "bad.pgm")
+
+    def test_nothing_written_on_rejection(self, tmp_path):
+        target = tmp_path / "never.pgm"
+        with pytest.raises(AnalysisError):
+            write_gray_pgm([[]], target)
+        assert not target.exists()

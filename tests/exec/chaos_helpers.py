@@ -1,0 +1,44 @@
+"""The small campaign shared by the chaos tests and their victim child.
+
+Imported under the same module path (``tests.exec.chaos_helpers``) by
+the pytest parent and by the ``python -c`` child it kills, so the
+checkpoint journal's plan fingerprint matches across the two processes.
+The units are slowed (``CHAOS_SLOW``) only in the child, giving the
+parent a wide window to land its ``kill -9`` mid-campaign; the slowdown
+is wall-clock only and leaves every result and metric untouched.
+"""
+
+import os
+import sys
+import time
+
+from repro.exec import ShardPlan, checkpointing, execute
+from repro.obs import OBS
+
+N_UNITS = 8
+
+
+def _unit(value: int) -> int:
+    OBS.counter_inc("rig.bits_read", value + 1)
+    OBS.gauge_set("rig.setpoint_error_v", value / 1000.0)
+    if os.environ.get("CHAOS_SLOW"):
+        time.sleep(0.25)
+    return value * value
+
+
+def build_plan() -> ShardPlan:
+    return ShardPlan.enumerate(
+        _unit,
+        [(i,) for i in range(N_UNITS)],
+        labels=[f"chaos[{i}]" for i in range(N_UNITS)],
+    )
+
+
+def main() -> None:
+    """Child entry point: run the campaign checkpointed under argv[1]."""
+    with checkpointing(sys.argv[1]):
+        execute(build_plan(), jobs=1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,165 @@
+"""Chaos tests: kill -9 mid-campaign, resume, and the SIGINT contract.
+
+The headline guarantee under test: a campaign killed without warning
+(``SIGKILL`` — no handlers, no cleanup) resumes from its journal and
+finishes with results and physics metrics identical to a run that was
+never interrupted.
+"""
+
+import signal
+import subprocess
+import sys
+import time
+import types
+from pathlib import Path
+
+import pytest
+
+from repro import cli, obs
+from repro.exec import ShardPlan, checkpointing, execute
+from repro.obs import OBS
+
+from . import chaos_helpers
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _physics(snapshot: dict) -> dict:
+    return {k: v for k, v in snapshot.items() if not k.startswith("exec.")}
+
+
+@pytest.fixture
+def observed():
+    obs.OBS.configure()
+    yield obs.OBS
+    obs.OBS.reset()
+
+
+class TestKillNineResume:
+    def test_killed_campaign_resumes_to_identical_state(
+        self, tmp_path, observed
+    ):
+        # Reference: the same campaign, never interrupted.
+        reference = execute(chaos_helpers.build_plan(), jobs=1)
+        reference_metrics = _physics(observed.metrics.snapshot())
+
+        ckpt = tmp_path / "ckpt"
+        journal = ckpt / "journal-000.jsonl"
+        child = subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                "from tests.exec.chaos_helpers import main; main()",
+                str(ckpt),
+            ],
+            cwd=REPO_ROOT,
+            env={
+                "PYTHONPATH": str(REPO_ROOT / "src"),
+                "CHAOS_SLOW": "1",
+                "PATH": "/usr/bin:/bin",
+            },
+        )
+        try:
+            # Wait for at least two journalled units, then kill -9.
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if (
+                    journal.exists()
+                    and len(journal.read_bytes().splitlines()) >= 3
+                ):
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("child never journalled its first units")
+            child.send_signal(signal.SIGKILL)
+            child.wait(timeout=30)
+        finally:
+            if child.poll() is None:
+                child.kill()
+        assert child.returncode == -signal.SIGKILL
+        banked = len(journal.read_bytes().splitlines()) - 1
+        assert 0 < banked < chaos_helpers.N_UNITS  # died mid-campaign
+
+        # Resume in this process: only the missing units run, and the
+        # final state is indistinguishable from the uninterrupted run.
+        obs.OBS.reset()
+        obs.OBS.configure()
+        with checkpointing(str(ckpt), resume=True):
+            assert execute(chaos_helpers.build_plan(), jobs=1) == reference
+        snapshot = obs.OBS.metrics.snapshot()
+        assert _physics(snapshot) == reference_metrics
+        assert snapshot["exec.resumed_units"] == banked
+
+
+def _fragile_unit(workdir: str, value: int):
+    """Interrupt at unit 2 on the first campaign only (marker file)."""
+    marker = Path(workdir) / "interrupted"
+    if value == 2 and not marker.exists():
+        marker.touch()
+        raise KeyboardInterrupt
+    OBS.counter_inc("rig.bits_read", value + 1)
+    return value
+
+
+def _fake_experiment(workdir: str) -> types.ModuleType:
+    module = types.ModuleType("chaos_fake_experiment")
+
+    def run(seed: int = 0):
+        plan = ShardPlan.enumerate(
+            _fragile_unit,
+            [(workdir, i) for i in range(4)],
+            labels=[f"fragile[{i}]" for i in range(4)],
+        )
+        return execute(plan, jobs=1)
+
+    def report(result):
+        return types.SimpleNamespace(
+            render=lambda: f"fragile campaign: {result}"
+        )
+
+    module.run = run
+    module.report = report
+    return module
+
+
+class TestSigintContract:
+    def test_interrupt_exits_with_code_3_and_resume_hint(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        ckpt = str(tmp_path / "ckpt")
+        monkeypatch.setitem(
+            cli.EXPERIMENTS, "chaos-fake", _fake_experiment(str(tmp_path))
+        )
+        rc = cli.main(
+            ["experiment", "chaos-fake", "--seed", "7", "--checkpoint", ckpt]
+        )
+        assert rc == cli.EXIT_INTERRUPTED == 3
+        err = capsys.readouterr().err
+        assert err.startswith("interrupted:")
+        assert "2/4 unit(s) checkpointed" in err
+        assert (
+            "`repro experiment chaos-fake --seed 7 "
+            f"--checkpoint {ckpt} --resume`" in err
+        )
+
+        # The hinted rerun completes the campaign and exits cleanly.
+        rc = cli.main(
+            [
+                "experiment", "chaos-fake", "--seed", "7",
+                "--checkpoint", ckpt, "--resume",
+            ]
+        )
+        assert rc == cli.EXIT_OK
+        assert "fragile campaign: [0, 1, 2, 3]" in capsys.readouterr().out
+
+    def test_interrupt_without_checkpoint_still_raises_cleanly(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        # Without --checkpoint there is no journal to bank into; the
+        # interrupt surfaces as the raw KeyboardInterrupt (Ctrl-C
+        # semantics are untouched outside checkpointed campaigns).
+        monkeypatch.setitem(
+            cli.EXPERIMENTS, "chaos-fake", _fake_experiment(str(tmp_path))
+        )
+        with pytest.raises(KeyboardInterrupt):
+            cli.main(["experiment", "chaos-fake", "--seed", "7"])

@@ -1,0 +1,210 @@
+"""Checkpoint journal + resume: crash tolerance and metric identity.
+
+Worker functions are module-level so the pool can pickle them.  Units
+log their executions to a per-run directory on disk, which lets the
+tests assert that a resume runs **only** the missing units.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.errors import CampaignInterrupted, CheckpointError
+from repro.exec import (
+    CheckpointJournal,
+    ShardPlan,
+    UnitRecord,
+    checkpoint_policy,
+    checkpointing,
+    execute,
+    plan_fingerprint,
+)
+from repro.obs import OBS
+
+
+def _observed_square(workdir: str, value: int):
+    """A unit with observable side effects: metrics plus a run log."""
+    (Path(workdir) / f"ran-{value}").touch()
+    OBS.counter_inc("rig.bits_read", value + 1)
+    OBS.gauge_set("rig.setpoint_error_v", value / 1000.0)
+    OBS.histogram_record("resilience.backoff_s", float(value))
+    return value * value
+
+
+def _interrupt_at(workdir: str, value: int, trip: int):
+    """Raise KeyboardInterrupt at ``trip`` — but only on the first run."""
+    marker = Path(workdir) / "tripped"
+    if value == trip and not marker.exists():
+        marker.touch()
+        raise KeyboardInterrupt
+    (Path(workdir) / f"ran-{value}").touch()
+    return value * value
+
+
+def _plan(workdir, n=6, fn=_observed_square, extra=()):
+    return ShardPlan.enumerate(
+        fn,
+        [(str(workdir), i, *extra) for i in range(n)],
+        labels=[f"unit[{i}]" for i in range(n)],
+    )
+
+
+def _ran(workdir) -> set[int]:
+    return {int(p.name.split("-")[1]) for p in Path(workdir).glob("ran-*")}
+
+
+def _clear(workdir) -> None:
+    for p in Path(workdir).glob("ran-*"):
+        p.unlink()
+
+
+def _physics(snapshot: dict) -> dict:
+    """The fingerprint-visible part of a metrics snapshot."""
+    return {k: v for k, v in snapshot.items() if not k.startswith("exec.")}
+
+
+@pytest.fixture
+def observed():
+    obs.OBS.configure()
+    yield obs.OBS
+    obs.OBS.reset()
+
+
+class TestJournalling:
+    def test_execute_writes_header_and_unit_lines(self, tmp_path):
+        with checkpointing(str(tmp_path / "ckpt")):
+            assert execute(_plan(tmp_path), jobs=1) == [
+                i * i for i in range(6)
+            ]
+        journal = tmp_path / "ckpt" / "journal-000.jsonl"
+        lines = [
+            json.loads(line)
+            for line in journal.read_text().splitlines()
+        ]
+        assert lines[0]["kind"] == "header"
+        assert [doc["index"] for doc in lines[1:]] == list(range(6))
+
+    def test_policy_is_scoped_to_the_context(self, tmp_path):
+        assert checkpoint_policy() is None
+        with checkpointing(str(tmp_path)):
+            assert checkpoint_policy() is not None
+        assert checkpoint_policy() is None
+
+    def test_checkpoint_metrics_recorded(self, tmp_path, observed):
+        with checkpointing(str(tmp_path / "ckpt")):
+            execute(_plan(tmp_path), jobs=1)
+        snapshot = observed.metrics.snapshot()
+        assert snapshot["exec.checkpointed_units"] == 6
+        assert snapshot["exec.journal_bytes"] > 0
+
+
+class TestMetricIdentity:
+    def test_checkpointed_run_matches_plain_run(self, tmp_path, observed):
+        plain = execute(_plan(tmp_path), jobs=1)
+        reference = _physics(observed.metrics.snapshot())
+
+        for jobs in (1, 3):
+            obs.OBS.reset()
+            obs.OBS.configure()
+            _clear(tmp_path)
+            with checkpointing(str(tmp_path / f"ckpt-{jobs}")):
+                assert execute(_plan(tmp_path), jobs=jobs) == plain
+            assert _physics(obs.OBS.metrics.snapshot()) == reference
+
+    def test_resumed_run_matches_uninterrupted(self, tmp_path, observed):
+        ckpt = str(tmp_path / "ckpt")
+        with checkpointing(ckpt):
+            plain = execute(_plan(tmp_path), jobs=1)
+        reference = _physics(observed.metrics.snapshot())
+
+        # Amputate the journal after three units, as a crash would.
+        journal = Path(ckpt) / "journal-000.jsonl"
+        lines = journal.read_text().splitlines(keepends=True)
+        journal.write_text("".join(lines[:4]))  # header + 3 units
+
+        obs.OBS.reset()
+        obs.OBS.configure()
+        _clear(tmp_path)
+        with checkpointing(ckpt, resume=True):
+            assert execute(_plan(tmp_path), jobs=1) == plain
+        assert _ran(tmp_path) == {3, 4, 5}  # only the missing units ran
+        assert _physics(obs.OBS.metrics.snapshot()) == reference
+        assert obs.OBS.metrics.snapshot()["exec.resumed_units"] == 3
+
+    def test_fully_complete_journal_resumes_without_running(self, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        with checkpointing(ckpt):
+            first = execute(_plan(tmp_path), jobs=1)
+        _clear(tmp_path)
+        with checkpointing(ckpt, resume=True):
+            assert execute(_plan(tmp_path), jobs=1) == first
+        assert _ran(tmp_path) == set()
+
+
+class TestCrashArtefacts:
+    def test_torn_tail_is_discarded_and_rerun(self, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        with checkpointing(ckpt):
+            first = execute(_plan(tmp_path), jobs=1)
+        journal = Path(ckpt) / "journal-000.jsonl"
+        lines = journal.read_text().splitlines(keepends=True)
+        # Keep header + 2 whole units, then half of the third's line.
+        journal.write_text("".join(lines[:3]) + lines[3][: len(lines[3]) // 2])
+
+        _clear(tmp_path)
+        with checkpointing(ckpt, resume=True):
+            assert execute(_plan(tmp_path), jobs=1) == first
+        assert _ran(tmp_path) == {2, 3, 4, 5}
+
+    def test_corrupt_body_line_is_refused(self, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        with checkpointing(ckpt):
+            execute(_plan(tmp_path), jobs=1)
+        journal = Path(ckpt) / "journal-000.jsonl"
+        lines = journal.read_text().splitlines(keepends=True)
+        lines[2] = "not json at all\n"
+        journal.write_text("".join(lines))
+        with checkpointing(ckpt, resume=True):
+            with pytest.raises(CheckpointError, match="corrupt journal"):
+                execute(_plan(tmp_path), jobs=1)
+
+    def test_resume_against_a_different_plan_is_refused(self, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        with checkpointing(ckpt):
+            execute(_plan(tmp_path), jobs=1)
+        with checkpointing(ckpt, resume=True):
+            with pytest.raises(CheckpointError, match="different plan"):
+                execute(_plan(tmp_path, n=7), jobs=1)
+
+    def test_journal_api_round_trips_a_record(self, tmp_path):
+        plan = _plan(tmp_path, n=2)
+        path = str(tmp_path / "j.jsonl")
+        journal = CheckpointJournal(path, plan_fingerprint(plan), 2)
+        journal.start(fresh=True)
+        journal.append(UnitRecord(index=1, result={"x": [1, 2]}))
+        journal.close()
+        loaded = CheckpointJournal(
+            path, plan_fingerprint(plan), 2
+        ).load_resume()
+        assert loaded[1].result == {"x": [1, 2]}
+
+
+class TestInterruption:
+    def test_keyboard_interrupt_banks_progress(self, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        plan = _plan(tmp_path, n=6, fn=_interrupt_at, extra=(4,))
+        with checkpointing(ckpt):
+            with pytest.raises(CampaignInterrupted) as info:
+                execute(plan, jobs=1)
+        assert info.value.done == 4
+        assert info.value.total == 6
+        assert Path(info.value.journal_path).exists()
+
+        # The resumed campaign completes only the missing units.
+        _clear(tmp_path)
+        plan = _plan(tmp_path, n=6, fn=_interrupt_at, extra=(4,))
+        with checkpointing(ckpt, resume=True):
+            assert execute(plan, jobs=1) == [i * i for i in range(6)]
+        assert _ran(tmp_path) == {4, 5}

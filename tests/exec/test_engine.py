@@ -126,6 +126,66 @@ class TestRetry:
         assert issubclass(ExecError, ReproError)
 
 
+class TestSerialRetryParity:
+    """``jobs=1`` honours the same retry contract (and emits the same
+    metrics) as the pool path — manifests stay jobs-invariant even for
+    flaky plans."""
+
+    def test_serial_failure_is_retried_with_metrics(self, tmp_path, observed):
+        marker = str(tmp_path / "fail-once")
+        plan = ShardPlan.enumerate(
+            _fail_once, [(marker, 42), (str(tmp_path / "other"), 7)]
+        )
+        Path(tmp_path / "other").write_text("pre-satisfied")
+        assert execute(plan, jobs=1, retries=1) == [42, 7]
+        assert observed.metrics.snapshot()["exec.retries"] == 1
+
+    def test_serial_exhaustion_raises_shard_error(self):
+        plan = ShardPlan.enumerate(
+            _always_fail, [(1,)], labels=["bad[1]"]
+        )
+        with pytest.raises(ShardError) as excinfo:
+            execute(plan, jobs=1, retries=1)
+        assert excinfo.value.attempts == 2
+        assert excinfo.value.label == "bad[1]"
+        assert "RuntimeError" in excinfo.value.cause
+
+    def test_serial_and_pool_paths_emit_equal_retry_counts(
+        self, tmp_path, observed
+    ):
+        def run(jobs, sub):
+            workdir = tmp_path / sub
+            workdir.mkdir()
+            marker = str(workdir / "fail-once")
+            plan = ShardPlan.enumerate(
+                _fail_once, [(marker, 42), (str(workdir / "other"), 7)]
+            )
+            Path(workdir / "other").write_text("pre-satisfied")
+            execute(plan, jobs=jobs, chunk_size=1, retries=1)
+            return observed.metrics.snapshot()["exec.retries"]
+
+        serial = run(1, "serial")
+        pooled = run(2, "pooled") - serial  # counter accumulates
+        assert serial == pooled == 1
+
+    def test_fallback_retries_a_flaky_unit(
+        self, tmp_path, monkeypatch, observed
+    ):
+        def _no_pool(*args, **kwargs):
+            raise OSError("no process spawning here")
+
+        monkeypatch.setattr(engine, "ProcessPoolExecutor", _no_pool)
+        marker = str(tmp_path / "fail-once")
+        plan = ShardPlan.enumerate(
+            _fail_once, [(marker, 42), (str(tmp_path / "other"), 7)]
+        )
+        Path(tmp_path / "other").write_text("pre-satisfied")
+        assert execute(plan, jobs=4, retries=1) == [42, 7]
+        snapshot = observed.metrics.snapshot()
+        assert snapshot["exec.fallbacks"] == 1
+        assert snapshot["exec.retries"] == 1
+
+
 class TestTimeout:
     def test_timed_out_shard_is_reattempted(self, tmp_path, observed):
         marker = str(tmp_path / "stall-once")

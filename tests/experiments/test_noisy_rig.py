@@ -1,0 +1,82 @@
+"""The noisy-rig experiment: the resilience acceptance criteria.
+
+Pins the PR's headline claims: under the default noisy rig the
+resilient driver recovers a strictly higher bit fraction than the naive
+single-shot driver (both recorded as gauges in the run manifest), and
+the whole noisy campaign — including the per-read JTAG/CP15 bit-error
+streams — is invariant to ``--jobs`` sharding.
+"""
+
+import pytest
+
+from repro import obs
+from repro.experiments import noisy_rig
+
+SEED = 2022
+
+
+@pytest.fixture(scope="class")
+def run():
+    """One observed serial run: (legs, manifest)."""
+    obs.OBS.configure()
+    try:
+        legs = noisy_rig.run(seed=SEED)
+        manifest = obs.OBS.last_manifest
+    finally:
+        obs.OBS.reset()
+    return legs, manifest
+
+
+class TestNoisyRig:
+    def test_covers_both_scenarios_and_drivers(self, run):
+        legs, _ = run
+        assert {(leg.scenario, leg.driver) for leg in legs} == {
+            (s, d)
+            for s in noisy_rig.SCENARIOS
+            for d in noisy_rig.DRIVERS
+        }
+
+    def test_resilient_strictly_beats_naive_in_every_scenario(self, run):
+        legs, _ = run
+        by_key = {(leg.scenario, leg.driver): leg for leg in legs}
+        for scenario in noisy_rig.SCENARIOS:
+            naive = by_key[(scenario, "naive")]
+            resilient = by_key[(scenario, "resilient")]
+            assert (
+                resilient.recovered_fraction > naive.recovered_fraction
+            ), scenario
+
+    def test_recovered_fractions_are_manifest_gauges(self, run):
+        legs, manifest = run
+        by_key = {(leg.scenario, leg.driver): leg for leg in legs}
+        for (scenario, driver), leg in by_key.items():
+            key = (
+                "resilience.recovered_fraction"
+                f"{{driver={driver},scenario={scenario}}}"
+            )
+            assert manifest.metrics[key] == leg.recovered_fraction
+
+    def test_headline_quotes_the_gain(self, run):
+        _, manifest = run
+        for scenario in noisy_rig.SCENARIOS:
+            assert manifest.headline[f"{scenario}.gain"] > 0.0
+
+    def test_jobs_sharding_preserves_the_manifest_fingerprint(self, run):
+        """JTAG/CP15 bit-error streams are spawned at plan-build time,
+        so a pool-sharded campaign reproduces the serial one bit for
+        bit — manifest fingerprints compare equal."""
+        _, serial_manifest = run
+        obs.OBS.configure()
+        try:
+            noisy_rig.run(seed=SEED, jobs=2)
+            sharded_manifest = obs.OBS.last_manifest
+        finally:
+            obs.OBS.reset()
+        assert (
+            sharded_manifest.fingerprint() == serial_manifest.fingerprint()
+        )
+
+    def test_report_renders_the_comparison(self, run):
+        legs, _ = run
+        rendered = noisy_rig.report(legs).render()
+        assert "naive" in rendered and "resilient" in rendered

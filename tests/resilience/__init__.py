@@ -1,0 +1,1 @@
+"""Tests for the imperfect-rig model and resilient attack driver."""

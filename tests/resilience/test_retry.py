@@ -1,0 +1,76 @@
+"""Retry-policy contract: validation, backoff, and adaptive re-search."""
+
+import pytest
+
+from repro.errors import ResilienceError
+from repro.resilience import RetryPolicy
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts >= 1
+        assert policy.reads_per_extraction % 2 == 1  # odd: no tie bits
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"reads_per_extraction": 0},
+            {"base_backoff_s": -1.0},
+            {"max_backoff_s": -1.0},
+            {"backoff_multiplier": 0.5},
+            {"setpoint_step_v": -0.001},
+            {"max_setpoint_boost_v": -0.001},
+            {"confidence_threshold": 0.4},
+            {"confidence_threshold": 1.1},
+            {"min_confident_fraction": -0.1},
+            {"min_confident_fraction": 1.1},
+        ],
+    )
+    def test_invalid_fields_rejected(self, kwargs):
+        with pytest.raises(ResilienceError):
+            RetryPolicy(**kwargs)
+
+
+class TestBackoff:
+    def test_exponential_and_clamped(self):
+        policy = RetryPolicy(
+            base_backoff_s=0.5, backoff_multiplier=2.0, max_backoff_s=8.0
+        )
+        assert policy.backoff_s(1) == 0.5
+        assert policy.backoff_s(2) == 1.0
+        assert policy.backoff_s(3) == 2.0
+        assert policy.backoff_s(10) == 8.0  # clamped
+
+    def test_defined_only_after_a_failure(self):
+        with pytest.raises(ResilienceError):
+            RetryPolicy().backoff_s(0)
+
+
+class TestSetpointSearch:
+    def test_boost_scales_with_lossy_failures_and_caps(self):
+        policy = RetryPolicy(
+            setpoint_step_v=0.015, max_setpoint_boost_v=0.060
+        )
+        assert policy.setpoint_boost_v(0) == 0.0
+        assert policy.setpoint_boost_v(1) == pytest.approx(0.015)
+        assert policy.setpoint_boost_v(4) == pytest.approx(0.060)
+        assert policy.setpoint_boost_v(9) == pytest.approx(0.060)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ResilienceError):
+            RetryPolicy().setpoint_boost_v(-1)
+
+
+class TestVariants:
+    def test_single_shot_is_the_naive_baseline(self):
+        naive = RetryPolicy.single_shot()
+        assert naive.max_attempts == 1
+        assert naive.reads_per_extraction == 1
+        assert naive.min_confident_fraction == 0.0
+
+    def test_with_reads_changes_only_the_vote_width(self):
+        policy = RetryPolicy().with_reads(9)
+        assert policy.reads_per_extraction == 9
+        assert policy.max_attempts == RetryPolicy().max_attempts
