@@ -30,6 +30,7 @@ import pytest
 from repro import obs
 from repro.obs import RunManifest, validate_manifest, write_json
 from repro.obs.timing import wall_clock
+from repro.perf import host_metadata
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -77,6 +78,12 @@ def record_report(request):
         # after the run (e.g. run_scaled's speedup) reach the sidecar.
         doc["metrics"] = obs.OBS.metrics.snapshot()
         doc["benchmark"] = request.node.name
+        # Wall-clock numbers are only interpretable against the host
+        # they ran on; every sidecar records CPU count and the
+        # effective --repro-jobs (repro.perf reads these).
+        doc["host"] = host_metadata(
+            jobs=request.config.getoption("--repro-jobs")
+        )
         validate_manifest(doc)
         write_json(RESULTS_DIR / f"{name}.json", doc)
         print()

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..errors import CalibrationError, CircuitError
 from ..obs import OBS
+from ..obs.timing import observe_rate, wall_clock
 from ..rng import from_entropy
 from ..units import ROOM_TEMPERATURE_K, milliseconds
 from .leakage import ArrheniusDecay, DRAM_DECAY
@@ -146,6 +147,10 @@ class DramArray:
         """
         if self._powered:
             raise CircuitError(f"{self.name}: already powered")
+        # Profiling hook: cells/s through the bulk decay kernel.  The
+        # "perf." gauge is stripped from manifest fingerprints; the
+        # disabled path reads no clock.
+        start = wall_clock() if OBS.enabled else 0.0
         retained = self._level > 0.5
         ground = self._ground_state()
         self._bits = np.where(retained, self._bits, ground)
@@ -153,6 +158,10 @@ class DramArray:
         self._powered = True
         fraction = float(np.mean(retained))
         if OBS.enabled:
+            observe_rate(
+                "dram.decay", self._n_bits, wall_clock() - start,
+                array=self.name,
+            )
             OBS.histogram_record(
                 "dram.retained_fraction", fraction, array=self.name
             )

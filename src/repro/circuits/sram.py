@@ -37,6 +37,7 @@ import numpy as np
 
 from ..errors import CalibrationError, CircuitError
 from ..obs import OBS
+from ..obs.timing import observe_rate, wall_clock
 from ..rng import from_entropy
 from ..units import ROOM_TEMPERATURE_K, millivolts
 from .leakage import ArrheniusDecay, SRAM_DECAY
@@ -279,6 +280,10 @@ class SramArray:
         if self._powered:
             raise CircuitError(f"{self.name}: already powered")
         self._require_voltage(voltage)
+        # Profiling hook: cells/s through the bulk decay kernel.  The
+        # "perf." gauge is stripped from manifest fingerprints; the
+        # disabled path reads no clock.
+        start = wall_clock() if OBS.enabled else 0.0
         node_v = self._off_supply_v * self._unpowered_fraction
         retained = node_v > self._restore_threshold
         fresh = self._sample_powerup()
@@ -291,6 +296,10 @@ class SramArray:
         self._collapse_below(self._supply_v)
         fraction = float(np.mean(retained))
         if OBS.enabled:
+            observe_rate(
+                "sram.decay", self._n_bits, wall_clock() - start,
+                array=self.name,
+            )
             OBS.histogram_record(
                 "sram.retained_fraction", fraction, array=self.name
             )

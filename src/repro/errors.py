@@ -152,6 +152,11 @@ class BrownOutReset(GlitchError):
         self.trip_time_s = trip_time_s
 
 
+class PerfError(ReproError):
+    """Performance-trajectory tooling failure (bad BENCH document,
+    unreadable sidecar, comparison against a missing baseline, ...)."""
+
+
 class LintError(ReproError):
     """``repro-lint`` could not run (unreadable input, bad rule id, ...)."""
 

@@ -33,7 +33,7 @@ from typing import Any, Callable, Sequence
 
 from ..errors import CampaignInterrupted, ExecError, ShardError
 from ..obs import OBS, MetricsRegistry, Tracer
-from ..obs.timing import wall_clock
+from ..obs.timing import observe_rate, wall_clock
 from . import runtime
 from .journal import CheckpointJournal, UnitRecord, plan_fingerprint
 from .plan import ShardPlan, WorkUnit
@@ -183,39 +183,48 @@ def execute(
         if capture:
             OBS.counter_inc("exec.units", len(plan))
             OBS.gauge_set("exec.jobs", jobs)
-        if policy is not None:
-            return _run_checkpointed(
-                plan,
-                jobs,
-                timeout_s=timeout_s,
-                retries=retries,
-                chunk_size=chunk_size,
-                journal_path=runtime.claim_journal_path(),
-                resume=policy.resume,
-                capture=capture,
-            )
-        if jobs == 1 or len(plan) == 1:
-            return _run_serial(plan.units, retries=retries)
-        shards = plan.shards(jobs, chunk_size)
-        tasks = [
-            _ShardTask(shard_index=i, units=shard, capture=capture)
-            for i, shard in enumerate(shards)
-        ]
-        if capture:
-            OBS.counter_inc("exec.shards", len(tasks))
+        # Profiling hook: the engine's end-to-end dispatch throughput
+        # (units/s).  Lands under the "perf." prefix, which manifest
+        # fingerprints strip, so jobs-equivalence is untouched.  The
+        # disabled path reads no clock at all.
+        start = wall_clock() if capture else 0.0
         try:
-            pool = ProcessPoolExecutor(max_workers=min(jobs, len(tasks)))
-        except (OSError, ImportError, RuntimeError, BrokenExecutor) as error:
-            # No pool at all: run everything serially in-process.  The
-            # downgrade itself is not a shard failure, so it does not
-            # count against the retry budget — units keep theirs.
-            _note_fallback(error)
-            return _run_serial(plan.units, retries=retries)
-        outcomes, failures = _dispatch(pool, tasks, timeout_s)
-        for task, cause in failures:
-            outcomes[task.shard_index] = _reattempt(task, retries, cause)
-        _merge_observability(outcomes, capture)
-        return _merge_results(plan, outcomes)
+            if policy is not None:
+                return _run_checkpointed(
+                    plan,
+                    jobs,
+                    timeout_s=timeout_s,
+                    retries=retries,
+                    chunk_size=chunk_size,
+                    journal_path=runtime.claim_journal_path(),
+                    resume=policy.resume,
+                    capture=capture,
+                )
+            if jobs == 1 or len(plan) == 1:
+                return _run_serial(plan.units, retries=retries)
+            shards = plan.shards(jobs, chunk_size)
+            tasks = [
+                _ShardTask(shard_index=i, units=shard, capture=capture)
+                for i, shard in enumerate(shards)
+            ]
+            if capture:
+                OBS.counter_inc("exec.shards", len(tasks))
+            try:
+                pool = ProcessPoolExecutor(max_workers=min(jobs, len(tasks)))
+            except (OSError, ImportError, RuntimeError, BrokenExecutor) as error:
+                # No pool at all: run everything serially in-process.  The
+                # downgrade itself is not a shard failure, so it does not
+                # count against the retry budget — units keep theirs.
+                _note_fallback(error)
+                return _run_serial(plan.units, retries=retries)
+            outcomes, failures = _dispatch(pool, tasks, timeout_s)
+            for task, cause in failures:
+                outcomes[task.shard_index] = _reattempt(task, retries, cause)
+            _merge_observability(outcomes, capture)
+            return _merge_results(plan, outcomes)
+        finally:
+            if capture:
+                observe_rate("exec.units", len(plan), wall_clock() - start)
 
 
 # ----------------------------------------------------------------------

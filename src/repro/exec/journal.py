@@ -217,8 +217,15 @@ class CheckpointJournal:
         blob = base64.b64encode(
             pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         ).decode("ascii")
+        # wall_s is duplicated outside the blob so progress tooling
+        # (repro.perf.progress) can read timings without unpickling.
         self._write_line(
-            {"kind": "unit", "index": record.index, "blob": blob}
+            {
+                "kind": "unit",
+                "index": record.index,
+                "wall_s": record.wall_s,
+                "blob": blob,
+            }
         )
         self.units_written += 1
 

@@ -12,6 +12,7 @@ from . import (  # noqa: F401  (imported for registration side effects)
     rl003_errors,
     rl004_float_eq,
     rl005_obs,
+    rl006_timing,
 )
 from .base import FileContext, Rule, all_rules, register, select_rules
 

@@ -22,6 +22,11 @@ from .export import SCHEMA_VERSION, _jsonable, validate_manifest
 #: fingerprint must compare equal across ``--jobs`` settings.
 EXECUTION_PARAMETERS = ("jobs",)
 
+#: Metric-name prefixes that carry wall-clock-derived values (engine
+#: accounting and the repro.obs.timing profiling hooks).  They vary run
+#: to run and with ``--jobs``, so the fingerprint strips them.
+TIMING_METRIC_PREFIXES = ("exec.", "perf.")
+
 
 @dataclass
 class RunManifest:
@@ -72,8 +77,8 @@ class RunManifest:
         Two runs with identical seeds and physics must produce equal
         fingerprints; wall-clock jitter and execution topology
         (``--jobs``, see :data:`EXECUTION_PARAMETERS`) are excluded by
-        construction, alongside the ``exec.*`` engine metrics they
-        influence.
+        construction, alongside the ``exec.*``/``perf.*`` metrics they
+        influence (:data:`TIMING_METRIC_PREFIXES`).
         """
         return manifest_fingerprint(self.to_dict(include_timings=False))
 
@@ -87,11 +92,13 @@ def manifest_fingerprint(doc: dict[str, Any]) -> str:
     """Fingerprint a manifest *dict* (e.g. parsed from ``--json``).
 
     Applies the same normalisation as :meth:`RunManifest.fingerprint`
-    — wall-clock timings, :data:`EXECUTION_PARAMETERS`, and ``exec.*``
-    engine metrics are stripped before hashing — so a manifest hashed
-    from a JSON document compares equal to one hashed in-process.  The
-    chaos-smoke harness relies on this to check an interrupted-then-
-    resumed campaign against an uninterrupted reference run.
+    — wall-clock timings, :data:`EXECUTION_PARAMETERS`, and the
+    wall-clock-derived :data:`TIMING_METRIC_PREFIXES` metrics
+    (``exec.*`` engine accounting plus the ``perf.*`` profiling hooks)
+    are stripped before hashing — so a manifest hashed from a JSON
+    document compares equal to one hashed in-process.  The chaos-smoke
+    harness relies on this to check an interrupted-then-resumed campaign
+    against an uninterrupted reference run.
     """
     doc = dict(doc)
     doc["phases"] = [
@@ -106,7 +113,7 @@ def manifest_fingerprint(doc: dict[str, Any]) -> str:
     doc["metrics"] = {
         k: v
         for k, v in doc.get("metrics", {}).items()
-        if not k.startswith("exec.")
+        if not k.startswith(TIMING_METRIC_PREFIXES)
     }
     canonical = json.dumps(doc, sort_keys=True)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -124,8 +124,11 @@ METRIC_NAMES: frozenset[str] = frozenset(
     }
 )
 
-#: Metric families named dynamically (benchmark sidecars).
-METRIC_PREFIXES: tuple[str, ...] = ("bench.",)
+#: Metric families named dynamically: benchmark sidecars (``bench.*``)
+#: and the fingerprint-stripped profiling hooks (``perf.*`` — scoped
+#: phase timers and hot-path throughput gauges, see
+#: :mod:`repro.obs.timing`).
+METRIC_PREFIXES: tuple[str, ...] = ("bench.", "perf.")
 
 
 def _known(name: str, names: frozenset[str], prefixes: tuple[str, ...]) -> bool:

@@ -1,10 +1,18 @@
-"""Wall-clock section timers for manifest phase accounting.
+"""Wall-clock section timers and deterministic profiling hooks.
 
 Wall-clock time is the one observability input that is *not*
 deterministic, so it is quarantined here: phase durations land in
-manifests under ``wall_s`` keys, and
-:meth:`~repro.obs.manifest.RunManifest.fingerprint` excludes them when
-comparing runs.
+manifests under ``wall_s`` keys, profiling hooks emit only ``perf.*``
+metrics, and both are excluded from
+:meth:`~repro.obs.manifest.RunManifest.fingerprint` when comparing runs
+— so instrumented hot paths stay byte-equivalent across ``--jobs``.
+
+The profiling hooks (:func:`profiled_phase`, :func:`observe_rate`) are
+how the hot paths — the exec engine, the glitch campaign loop, the
+circuits decay paths — report throughput without perturbing physics:
+they read no RNG, allocate nothing when observability is disabled, and
+every metric they emit lives under the fingerprint-stripped ``perf.``
+namespace.
 """
 
 from __future__ import annotations
@@ -53,3 +61,54 @@ class SectionTimer:
     def total_s(self) -> float:
         """Sum of all recorded section durations."""
         return sum(wall_s for _, wall_s in self._sections)
+
+
+# ----------------------------------------------------------------------
+# Profiling hooks (the repro.perf measurement points)
+# ----------------------------------------------------------------------
+#
+# Imported lazily inside each hook: this module is imported by
+# ``repro.obs.__init__`` before ``OBS`` exists, so a module-level import
+# would be circular.
+
+
+@contextmanager
+def profiled_phase(name: str, **labels: object) -> Iterator[None]:
+    """Time a scoped hot-path phase into ``perf.phase_wall_s``.
+
+    Records one histogram observation labelled ``phase=name`` when
+    observability is enabled; with it disabled the manager does not even
+    read the clock, so uninstrumented runs stay free.  ``perf.*``
+    metrics are stripped from manifest fingerprints, so wrapping a phase
+    never breaks ``--jobs`` byte-equivalence.
+    """
+    from . import OBS
+
+    if not OBS.enabled:
+        yield
+        return
+    start = wall_clock()
+    try:
+        yield
+    finally:
+        OBS.histogram_record(
+            "perf.phase_wall_s", wall_clock() - start, phase=name, **labels
+        )
+
+
+def observe_rate(
+    name: str, units: float, wall_s: float, **labels: object
+) -> None:
+    """Record a hot-path throughput gauge ``perf.<name>.per_s``.
+
+    ``units`` is whatever the path processes (cells, attempts, work
+    units); the gauge holds the latest observed rate and a paired
+    ``perf.phase_wall_s`` histogram observation keeps the distribution.
+    No-op when observability is disabled or the interval is degenerate.
+    """
+    from . import OBS
+
+    if not OBS.enabled or wall_s <= 0.0:
+        return
+    OBS.gauge_set(f"perf.{name}.per_s", units / wall_s, **labels)
+    OBS.histogram_record("perf.phase_wall_s", wall_s, phase=name, **labels)

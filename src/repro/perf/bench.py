@@ -1,0 +1,317 @@
+"""The ``BENCH_<n>.json`` performance-trajectory aggregator.
+
+One trajectory document per PR, at the repo root, schema-versioned —
+the measurement backbone every performance PR is judged against.  Each
+document aggregates one entry per benchmark with the numbers that make
+a speed claim checkable:
+
+* ``wall_s`` — the canonical serial wall time;
+* ``rates`` — derived throughputs (cells-decayed/s, glitch attempts/s,
+  exec work-units/s) so a "10x faster" claim can be read off directly;
+* ``speedup`` — the measured serial-vs-parallel leg, when the producing
+  run had one;
+* ``host`` (document level) — CPU count, platform, effective jobs, so
+  numbers are interpretable across machines.
+
+Entries come from two sources: the committed
+``benchmarks/results/*.json`` manifest sidecars (``source:
+"sidecar"``, one per paper table/figure bench) and the in-process
+quick-workload suite (``source: "quick"``,
+:mod:`repro.perf.workloads`) that CI re-times on every run.  The
+regression comparator (:mod:`repro.perf.compare`) matches entries by
+name across documents and gates on slowdowns.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..errors import PerfError
+from ..obs import validate_manifest, write_json
+from .host import host_metadata
+
+#: Version of the BENCH trajectory document schema.  Bump on any
+#: backwards-incompatible change to the document or entry shape.
+BENCH_SCHEMA_VERSION = 1
+
+#: The ``kind`` field of every trajectory document.
+BENCH_KIND = "bench-trajectory"
+
+#: Trajectory file name pattern at the repo root.
+BENCH_FILE_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+#: Fields every trajectory document must carry.
+BENCH_REQUIRED_FIELDS = (
+    "schema_version",
+    "kind",
+    "sequence",
+    "mode",
+    "host",
+    "benchmarks",
+)
+
+#: Fields every benchmark entry must carry.
+ENTRY_REQUIRED_FIELDS = ("name", "source", "wall_s", "rates")
+
+#: Metric base names whose counters roll up into each derived rate.
+_RATE_SOURCES = {
+    "cells_decayed_per_s": ("sram.cells_decayed", "dram.cells_decayed"),
+    "attempts_per_s": ("glitch.attempts",),
+    "units_per_s": ("exec.units",),
+}
+
+
+@dataclass
+class BenchEntry:
+    """One benchmark's row in a trajectory document."""
+
+    name: str
+    source: str  # "sidecar" or "quick"
+    wall_s: float
+    rates: dict[str, float] = field(default_factory=dict)
+    speedup: dict[str, float] | None = None
+    device: str | None = None
+    seed: int | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """Entry as a schema-conformant plain dict."""
+        doc: dict[str, Any] = {
+            "name": self.name,
+            "source": self.source,
+            "wall_s": self.wall_s,
+            "rates": dict(self.rates),
+        }
+        if self.speedup is not None:
+            doc["speedup"] = dict(self.speedup)
+        if self.device is not None:
+            doc["device"] = self.device
+        if self.seed is not None:
+            doc["seed"] = self.seed
+        return doc
+
+
+def _metric_base(rendered: str) -> str:
+    """Strip the label block from a rendered metric key.
+
+    Sidecar metrics are flattened ``name{label=value,...}`` strings
+    (:meth:`~repro.obs.metrics.MetricsRegistry.snapshot`); rates pool
+    across labels, so only the base name matters here.
+    """
+    return rendered.split("{", 1)[0]
+
+
+def _metric_total(metrics: dict[str, Any], base: str) -> float:
+    """Sum a counter/gauge across every label combination."""
+    total = 0.0
+    for key, value in metrics.items():
+        if _metric_base(key) == base and isinstance(value, (int, float)):
+            total += value
+    return total
+
+
+def rates_from_metrics(
+    metrics: dict[str, Any], wall_s: float
+) -> dict[str, float]:
+    """Derive the per-second throughput rates from a metric snapshot."""
+    if wall_s <= 0.0:
+        return {}
+    rates: dict[str, float] = {}
+    for rate_name, bases in _RATE_SOURCES.items():
+        units = sum(_metric_total(metrics, base) for base in bases)
+        if units > 0.0:
+            rates[rate_name] = units / wall_s
+    return rates
+
+
+def _sidecar_wall_s(doc: dict[str, Any]) -> float:
+    """The canonical serial wall time of one sidecar.
+
+    ``run_scaled`` benches record the serial leg explicitly as
+    ``bench.exec.serial_wall_s``; for the rest the manifest's phase
+    timings are the only wall-clock record.
+    """
+    metrics = doc.get("metrics", {})
+    serial = metrics.get("bench.exec.serial_wall_s")
+    if isinstance(serial, (int, float)) and serial > 0.0:
+        return float(serial)
+    return float(
+        sum(
+            phase.get("wall_s", 0.0)
+            for phase in doc.get("phases", [])
+            if isinstance(phase, dict)
+        )
+    )
+
+
+def _sidecar_speedup(doc: dict[str, Any]) -> dict[str, float] | None:
+    """The serial-vs-parallel block of a ``run_scaled`` sidecar, if any."""
+    metrics = doc.get("metrics", {})
+    block: dict[str, float] = {}
+    for key, short in (
+        ("bench.exec.jobs", "jobs"),
+        ("bench.exec.serial_wall_s", "serial_wall_s"),
+        ("bench.exec.parallel_wall_s", "parallel_wall_s"),
+        ("bench.exec.speedup", "speedup"),
+    ):
+        value = metrics.get(key)
+        if isinstance(value, (int, float)):
+            block[short] = float(value)
+    return block or None
+
+
+def entry_from_sidecar(path: str | Path) -> BenchEntry:
+    """Build one trajectory entry from a benchmark manifest sidecar.
+
+    The sidecar is schema-validated first, so a malformed results file
+    fails the aggregation loudly rather than producing a silent zero.
+    """
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        raise PerfError(f"{path}: unreadable sidecar: {error}") from error
+    if not isinstance(doc, dict):
+        raise PerfError(f"{path}: sidecar is not a JSON object")
+    try:
+        validate_manifest(doc)
+    except ValueError as error:
+        raise PerfError(f"{path}: invalid manifest sidecar: {error}") from error
+    wall_s = _sidecar_wall_s(doc)
+    seed = doc.get("seed")
+    return BenchEntry(
+        name=path.stem,
+        source="sidecar",
+        wall_s=wall_s,
+        rates=rates_from_metrics(doc.get("metrics", {}), wall_s),
+        speedup=_sidecar_speedup(doc),
+        device=doc.get("device"),
+        seed=seed if isinstance(seed, int) else None,
+    )
+
+
+def collect_sidecars(results_dir: str | Path) -> list[BenchEntry]:
+    """Ingest every ``*.json`` sidecar under ``results_dir``, sorted."""
+    results_dir = Path(results_dir)
+    if not results_dir.is_dir():
+        raise PerfError(f"no benchmark results directory at {results_dir}")
+    return [
+        entry_from_sidecar(path)
+        for path in sorted(results_dir.glob("*.json"))
+    ]
+
+
+# ----------------------------------------------------------------------
+# Trajectory documents
+# ----------------------------------------------------------------------
+
+
+def build_trajectory(
+    entries: list[BenchEntry],
+    sequence: int,
+    mode: str,
+    jobs: int | None = None,
+) -> dict[str, Any]:
+    """Assemble a schema-versioned trajectory document."""
+    if sequence < 1:
+        raise PerfError(f"trajectory sequence must be >= 1, got {sequence}")
+    if mode not in ("full", "quick"):
+        raise PerfError(f"trajectory mode must be 'full' or 'quick', got {mode!r}")
+    doc = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": BENCH_KIND,
+        "sequence": int(sequence),
+        "mode": mode,
+        "host": host_metadata(jobs=jobs),
+        "benchmarks": [entry.to_dict() for entry in sorted(
+            entries, key=lambda e: e.name
+        )],
+    }
+    return validate_bench(doc)
+
+
+def validate_bench(doc: dict[str, Any]) -> dict[str, Any]:
+    """Check a trajectory document against the schema; returns it.
+
+    Raises :class:`~repro.errors.PerfError` naming every violated
+    constraint, mirroring :func:`repro.obs.validate_manifest`.
+    """
+    problems: list[str] = []
+    for required in BENCH_REQUIRED_FIELDS:
+        if required not in doc:
+            problems.append(f"missing required field {required!r}")
+    if doc.get("schema_version") != BENCH_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {doc.get('schema_version')!r} != "
+            f"{BENCH_SCHEMA_VERSION}"
+        )
+    if "kind" in doc and doc["kind"] != BENCH_KIND:
+        problems.append(f"kind {doc['kind']!r} != {BENCH_KIND!r}")
+    if "host" in doc and not isinstance(doc["host"], dict):
+        problems.append("host must be an object")
+    entries = doc.get("benchmarks", [])
+    if not isinstance(entries, list):
+        problems.append("benchmarks must be a list")
+        entries = []
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            problems.append(f"benchmarks[{i}] must be an object")
+            continue
+        for required in ENTRY_REQUIRED_FIELDS:
+            if required not in entry:
+                problems.append(
+                    f"benchmarks[{i}] missing required field {required!r}"
+                )
+        if entry.get("source") not in ("sidecar", "quick"):
+            problems.append(
+                f"benchmarks[{i}] source {entry.get('source')!r} not in "
+                f"('sidecar', 'quick')"
+            )
+    if problems:
+        raise PerfError("; ".join(problems))
+    return doc
+
+
+def bench_paths(root: str | Path) -> list[tuple[int, Path]]:
+    """Every ``BENCH_<n>.json`` at ``root``, ordered by sequence."""
+    found = []
+    for path in Path(root).glob("BENCH_*.json"):
+        match = BENCH_FILE_RE.match(path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    return sorted(found)
+
+
+def next_sequence(root: str | Path) -> int:
+    """The sequence number the next trajectory document should take."""
+    existing = bench_paths(root)
+    return existing[-1][0] + 1 if existing else 1
+
+
+def latest_bench(root: str | Path) -> tuple[int, Path] | None:
+    """The highest-numbered committed trajectory, if any."""
+    existing = bench_paths(root)
+    return existing[-1] if existing else None
+
+
+def load_bench(path: str | Path) -> dict[str, Any]:
+    """Read and validate one trajectory document."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        raise PerfError(f"{path}: unreadable BENCH document: {error}") from error
+    if not isinstance(doc, dict):
+        raise PerfError(f"{path}: BENCH document is not a JSON object")
+    try:
+        return validate_bench(doc)
+    except PerfError as error:
+        raise PerfError(f"{path}: {error}") from error
+
+
+def write_bench(path: str | Path, doc: dict[str, Any]) -> Path:
+    """Validate and persist a trajectory document."""
+    return write_json(Path(path), validate_bench(doc))

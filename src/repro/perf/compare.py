@@ -1,0 +1,227 @@
+"""Regression comparator and trend reports over BENCH trajectories.
+
+The gate every performance PR runs against: compare the freshly
+measured ``BENCH`` document to a baseline, flag every benchmark whose
+wall time grew by more than the threshold (default 20 %), and render
+the verdict both as a markdown table (for humans and PR comments) and
+as JSON (for tooling).  Benchmarks present in only one document are
+reported but never gate — adding a benchmark must not fail CI, and a
+quick-mode CI run is allowed to cover only the quick suite.
+
+The trend report walks the full committed ``BENCH_<n>.json`` sequence
+and tabulates each benchmark's wall time across PRs — the repo-level
+answer to "is this getting faster?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..errors import PerfError
+from ..units import milliseconds
+from .bench import bench_paths, load_bench
+
+#: A benchmark is a regression when ``new > old * (1 + threshold)``.
+DEFAULT_THRESHOLD = 0.20
+
+#: Wall times below this are dispatch noise, not signal; such entries
+#: never gate (a 25 % swing on half a millisecond is scheduler jitter).
+MIN_GATED_WALL_S = milliseconds(1)
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One benchmark's old-vs-new verdict."""
+
+    name: str
+    status: str  # "ok" | "regression" | "improved" | "added" | "missing"
+    old_wall_s: float | None = None
+    new_wall_s: float | None = None
+
+    @property
+    def ratio(self) -> float | None:
+        """``new / old`` wall-time ratio where both sides exist."""
+        if not self.old_wall_s or self.new_wall_s is None:
+            return None
+        return self.new_wall_s / self.old_wall_s
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "old_wall_s": self.old_wall_s,
+            "new_wall_s": self.new_wall_s,
+            "ratio": self.ratio,
+        }
+
+
+@dataclass
+class Comparison:
+    """The full old-vs-new verdict of two trajectory documents."""
+
+    rows: list[ComparisonRow]
+    threshold: float
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[ComparisonRow]:
+        """Rows that breach the gate."""
+        return [row for row in self.rows if row.status == "regression"]
+
+    @property
+    def passed(self) -> bool:
+        """Whether the gate passes (no regression rows)."""
+        return not self.regressions
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "threshold": self.threshold,
+            "passed": self.passed,
+            "regressions": len(self.regressions),
+            "notes": list(self.notes),
+            "rows": [row.to_dict() for row in self.rows],
+        }
+
+
+def _entries_by_name(doc: dict[str, Any]) -> dict[str, dict[str, Any]]:
+    return {entry["name"]: entry for entry in doc.get("benchmarks", [])}
+
+
+def compare(
+    old: dict[str, Any],
+    new: dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Comparison:
+    """Compare two trajectory documents benchmark by benchmark.
+
+    Only benchmarks present in *both* documents can regress; the rest
+    land as informational ``added``/``missing`` rows.  A host mismatch
+    (different CPU count) is noted — wall-clock comparisons across
+    different hardware are advisory at best.
+    """
+    if threshold <= 0.0:
+        raise PerfError(f"regression threshold must be positive, got {threshold}")
+    old_entries = _entries_by_name(old)
+    new_entries = _entries_by_name(new)
+    notes = []
+    old_cpus = old.get("host", {}).get("cpu_count")
+    new_cpus = new.get("host", {}).get("cpu_count")
+    if old_cpus != new_cpus:
+        notes.append(
+            f"host mismatch: baseline ran on {old_cpus} CPU(s), "
+            f"this run on {new_cpus} — wall-time deltas are advisory"
+        )
+    rows = []
+    for name in sorted(set(old_entries) | set(new_entries)):
+        if name not in new_entries:
+            rows.append(ComparisonRow(
+                name=name, status="missing",
+                old_wall_s=float(old_entries[name]["wall_s"]),
+            ))
+            continue
+        if name not in old_entries:
+            rows.append(ComparisonRow(
+                name=name, status="added",
+                new_wall_s=float(new_entries[name]["wall_s"]),
+            ))
+            continue
+        old_wall = float(old_entries[name]["wall_s"])
+        new_wall = float(new_entries[name]["wall_s"])
+        if (
+            old_wall >= MIN_GATED_WALL_S
+            and new_wall > old_wall * (1.0 + threshold)
+        ):
+            status = "regression"
+        elif old_wall > 0.0 and new_wall < old_wall * (1.0 - threshold):
+            status = "improved"
+        else:
+            status = "ok"
+        rows.append(ComparisonRow(
+            name=name, status=status,
+            old_wall_s=old_wall, new_wall_s=new_wall,
+        ))
+    return Comparison(rows=rows, threshold=threshold, notes=notes)
+
+
+def render_comparison(comparison: Comparison) -> str:
+    """The comparator's verdict as a markdown table."""
+    lines = [
+        "| benchmark | old wall (s) | new wall (s) | ratio | status |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for row in comparison.rows:
+        old_wall = "-" if row.old_wall_s is None else f"{row.old_wall_s:.4f}"
+        new_wall = "-" if row.new_wall_s is None else f"{row.new_wall_s:.4f}"
+        ratio = "-" if row.ratio is None else f"{row.ratio:.2f}x"
+        status = row.status.upper() if row.status == "regression" else row.status
+        lines.append(
+            f"| {row.name} | {old_wall} | {new_wall} | {ratio} | {status} |"
+        )
+    for note in comparison.notes:
+        lines.append(f"\n> note: {note}")
+    verdict = (
+        "gate PASSED"
+        if comparison.passed
+        else f"gate FAILED: {len(comparison.regressions)} benchmark(s) "
+        f"slower by more than {comparison.threshold:.0%}"
+    )
+    lines.append(f"\n{verdict} (threshold {comparison.threshold:.0%})")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Trend report over the committed BENCH_<n>.json sequence
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class TrendReport:
+    """Wall-time trajectory of every benchmark across BENCH documents."""
+
+    sequences: list[int]
+    series: dict[str, dict[int, float]]  # name -> {sequence: wall_s}
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "sequences": list(self.sequences),
+            "series": {
+                name: {str(seq): wall for seq, wall in sorted(points.items())}
+                for name, points in sorted(self.series.items())
+            },
+        }
+
+
+def trend(root: str | Path) -> TrendReport:
+    """Build the trend over every ``BENCH_<n>.json`` at ``root``."""
+    paths = bench_paths(root)
+    if not paths:
+        raise PerfError(f"no BENCH_<n>.json trajectory documents at {root}")
+    sequences = []
+    series: dict[str, dict[int, float]] = {}
+    for sequence, path in paths:
+        doc = load_bench(path)
+        sequences.append(sequence)
+        for entry in doc.get("benchmarks", []):
+            series.setdefault(entry["name"], {})[sequence] = float(
+                entry["wall_s"]
+            )
+    return TrendReport(sequences=sequences, series=series)
+
+
+def render_trend(report: TrendReport) -> str:
+    """The trend report as a markdown table (one column per sequence)."""
+    header = "| benchmark | " + " | ".join(
+        f"BENCH_{seq}" for seq in report.sequences
+    ) + " |"
+    rule = "|---|" + "---:|" * len(report.sequences)
+    lines = [header, rule]
+    for name in sorted(report.series):
+        points = report.series[name]
+        cells = [
+            f"{points[seq]:.4f}" if seq in points else "-"
+            for seq in report.sequences
+        ]
+        lines.append(f"| {name} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Host metadata for performance artifacts.
+
+A wall-clock number is meaningless without knowing what it ran on: the
+honest ~1x serial-vs-parallel speedup a single-CPU container records is
+indistinguishable from a real parallelism regression unless the
+artifact says *one CPU*.  Every ``BENCH_<n>.json`` trajectory document
+and every benchmark manifest sidecar therefore embeds this block, so
+trend tooling can refuse to compare apples to multi-core oranges.
+
+Only stable, non-identifying facts are recorded — CPU count, platform
+triple, Python version — never hostnames or timestamps (the repo's
+determinism culture bans ambient clock reads outside
+:mod:`repro.obs.timing`).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+from typing import Any
+
+
+def cpu_count() -> int:
+    """Usable CPU count (never less than one)."""
+    return os.cpu_count() or 1
+
+
+def host_metadata(jobs: int | None = None) -> dict[str, Any]:
+    """The host block embedded in BENCH documents and bench sidecars.
+
+    ``jobs`` is the effective ``--repro-jobs`` / ``--jobs`` value the
+    producing run used, so a reader can tell a deliberately-serial run
+    from a host that had no cores to parallelise over.
+    """
+    meta: dict[str, Any] = {
+        "cpu_count": cpu_count(),
+        "platform": platform.system().lower() or "unknown",
+        "machine": platform.machine() or "unknown",
+        "python": "{}.{}.{}".format(*sys.version_info[:3]),
+    }
+    if jobs is not None:
+        meta["jobs"] = int(jobs)
+    return meta

@@ -1,0 +1,204 @@
+"""Live campaign progress from exec checkpoint journals.
+
+``repro progress <journal>`` answers the operator's question during a
+multi-hour parameter search: *how far along is it and when will it
+finish?* — without touching the running process.  The checkpoint
+journal (:mod:`repro.exec.journal`) is an append-only JSONL file whose
+header carries the plan's total unit count and whose unit lines carry
+per-unit wall times, so progress, rolling throughput, and an ETA can
+all be read straight off the file — live mid-run, or post-mortem from
+the journal a ``kill -9`` left behind (the torn final line a crash
+writes is recognised and discarded, exactly as ``--resume`` does).
+
+ETA model: remaining units x the rolling mean unit wall time over the
+most recent :data:`ROLLING_WINDOW` completions.  Unit wall times are
+measured inside the worker, so on a ``--jobs N`` pool the ETA is the
+serial-equivalent bound; the report says so rather than guessing the
+pool's effective parallelism.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from ..errors import PerfError
+from ..exec.journal import JOURNAL_VERSION
+
+#: Completions pooled into the rolling throughput/ETA estimate.
+ROLLING_WINDOW = 16
+
+
+@dataclass
+class ProgressReport:
+    """What one checkpoint journal says about its campaign."""
+
+    path: str
+    total: int
+    done: int
+    torn_tail: bool
+    wall_s_total: float
+    rolling_units: int
+    rolling_wall_s: float
+
+    @property
+    def remaining(self) -> int:
+        """Units the journal has not yet banked."""
+        return max(0, self.total - self.done)
+
+    @property
+    def fraction(self) -> float:
+        """Completed fraction in [0, 1]."""
+        return self.done / self.total if self.total else 0.0
+
+    @property
+    def complete(self) -> bool:
+        """Whether every unit is banked."""
+        return self.total > 0 and self.done >= self.total
+
+    @property
+    def throughput_units_per_s(self) -> float | None:
+        """Rolling completion rate (None before any timed unit lands)."""
+        if self.rolling_units and self.rolling_wall_s > 0.0:
+            return self.rolling_units / self.rolling_wall_s
+        return None
+
+    @property
+    def eta_s(self) -> float | None:
+        """Serial-equivalent seconds to completion (None when unknown)."""
+        rate = self.throughput_units_per_s
+        if rate is None or self.complete:
+            return 0.0 if self.complete else None
+        return self.remaining / rate
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "total": self.total,
+            "done": self.done,
+            "remaining": self.remaining,
+            "fraction": self.fraction,
+            "complete": self.complete,
+            "torn_tail": self.torn_tail,
+            "wall_s_total": self.wall_s_total,
+            "throughput_units_per_s": self.throughput_units_per_s,
+            "eta_s": self.eta_s,
+        }
+
+
+def _unit_wall_s(doc: dict[str, Any]) -> float:
+    """One unit line's wall time.
+
+    Journals written since the perf subsystem carry ``wall_s`` in the
+    outer JSON line; older journals only carry it inside the pickled
+    blob, so fall back to decoding that.
+    """
+    wall = doc.get("wall_s")
+    if isinstance(wall, (int, float)):
+        return float(wall)
+    try:
+        payload = pickle.loads(base64.b64decode(doc["blob"]))
+        return float(payload.get("wall_s", 0.0))
+    except Exception:
+        return 0.0  # unreadable blob: count the unit, skip its timing
+
+
+def read_progress(path: str | Path) -> ProgressReport:
+    """Parse one checkpoint journal into a progress report.
+
+    Tolerates exactly what the journal's durability model permits: a
+    torn *final* line (the ``kill -9`` signature).  Anything else
+    malformed raises :class:`~repro.errors.PerfError` — a journal that
+    lies about progress is worse than no report.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as error:
+        raise PerfError(f"{path}: cannot read journal: {error}") from error
+    if not raw:
+        raise PerfError(f"{path}: journal is empty")
+    lines = raw.split(b"\n")
+    body, tail = lines[:-1], (lines[-1] or None)
+    total: int | None = None
+    walls: list[float] = []
+    for position, line in enumerate(body):
+        if not line:
+            continue
+        try:
+            doc = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise PerfError(
+                f"{path}: corrupt journal line {position + 1}: {error}"
+            ) from error
+        if total is None:
+            if doc.get("kind") != "header":
+                raise PerfError(f"{path}: first journal line is not a header")
+            if doc.get("version") != JOURNAL_VERSION:
+                raise PerfError(
+                    f"{path}: journal version {doc.get('version')!r}, "
+                    f"expected {JOURNAL_VERSION}"
+                )
+            total = int(doc.get("units", 0))
+            continue
+        if doc.get("kind") == "unit":
+            walls.append(_unit_wall_s(doc))
+    if total is None:
+        raise PerfError(
+            f"{path}: journal holds no complete header (crash landed "
+            f"before the first fsync) — nothing to report"
+        )
+    rolling = walls[-ROLLING_WINDOW:]
+    return ProgressReport(
+        path=str(path),
+        total=total,
+        done=len(walls),
+        torn_tail=tail is not None,
+        wall_s_total=sum(walls),
+        rolling_units=len(rolling),
+        rolling_wall_s=sum(rolling),
+    )
+
+
+def find_journals(path: str | Path) -> list[Path]:
+    """Resolve a journal file or a checkpoint directory to journals.
+
+    A directory is how the CLI's ``--checkpoint DIR`` lays runs out
+    (``journal-000.jsonl``, ``journal-001.jsonl``, ...); report each.
+    """
+    path = Path(path)
+    if path.is_dir():
+        journals = sorted(path.glob("*.jsonl"))
+        if not journals:
+            raise PerfError(f"{path}: no *.jsonl journals in directory")
+        return journals
+    return [path]
+
+
+def _format_eta(eta_s: float | None) -> str:
+    if eta_s is None:
+        return "ETA unknown"
+    if eta_s >= 3600:
+        return f"ETA {eta_s / 3600:.1f}h"
+    if eta_s >= 60:
+        return f"ETA {eta_s / 60:.1f}m"
+    return f"ETA {eta_s:.1f}s"
+
+
+def render_progress(report: ProgressReport) -> str:
+    """One human-readable progress line per journal."""
+    rate = report.throughput_units_per_s
+    rate_text = f"{rate:.2f} units/s" if rate is not None else "rate unknown"
+    state = "complete" if report.complete else _format_eta(report.eta_s)
+    line = (
+        f"{report.path}: {report.done}/{report.total} units "
+        f"({report.fraction:.1%}), {rate_text} "
+        f"(rolling {report.rolling_units}), {state}"
+    )
+    if report.torn_tail:
+        line += " [torn tail discarded — crash artefact]"
+    return line

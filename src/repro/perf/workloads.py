@@ -1,0 +1,159 @@
+"""The quick-workload suite: small, seeded hot-path timings.
+
+The full bench suite regenerates whole paper tables and takes minutes;
+CI needs a trajectory data point in seconds.  Each quick workload here
+drives exactly one hot path the ROADMAP targets for optimisation — the
+SRAM/DRAM bulk decay kernels, the glitch campaign loop, the exec
+engine's dispatch overhead — on a deliberately small, fixed-seed
+configuration, and reports how many units of work it processed.  The
+runner times each workload with :func:`repro.obs.timing.wall_clock`
+and folds the result into ``source: "quick"`` trajectory entries
+(:mod:`repro.perf.bench`), which the regression gate then compares
+across ``BENCH_<n>.json`` documents.
+
+Work **counts** are deterministic (same seed ⇒ same units); only the
+wall time varies run to run — exactly the split the trajectory schema
+encodes as ``rates`` versus entry identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..circuits.dram import DramArray
+from ..circuits.sram import SramArray
+from ..errors import PerfError
+from ..exec import ShardPlan, WorkUnit, execute
+from ..glitch.campaign import CampaignSpec, shard_plan
+from ..obs.timing import wall_clock
+from ..rng import generator
+from ..units import nanoseconds
+from .bench import BenchEntry
+
+#: Sizes kept small so the whole suite runs in a few seconds even on a
+#: single-CPU container.
+_SRAM_BITS = 64 * 1024 * 8  # one 64 KiB macro
+_DRAM_BITS = 512 * 1024 * 8  # one 512 KiB module
+_RETENTION_STEPS = 8
+_EXEC_UNITS = 64
+
+#: The glitch quick campaign: 2x1x2 grid around the PIN guard, one
+#: repeat, both legs — every outcome class stays reachable.
+_GLITCH_SPEC = CampaignSpec(
+    offsets_s=(0.0, nanoseconds(350)),
+    widths_s=(nanoseconds(40),),
+    depths_v=(0.4, 0.55),
+    repeats=1,
+    random_points=2,
+)
+
+
+@dataclass(frozen=True)
+class QuickWorkload:
+    """One named quick workload and how to rate it."""
+
+    name: str
+    rate_key: str  # which trajectory rate its unit count feeds
+    fn: Callable[[int], float]  # seed -> units processed
+
+
+def _sram_decay(seed: int) -> float:
+    """One full power-cycle decay of an SRAM macro (cells processed)."""
+    array = SramArray(
+        _SRAM_BITS, rng=generator(seed, "perf", "sram"), name="perf.sram"
+    )
+    array.power_up()
+    array.fill_bytes(0xAA)
+    array.power_down()
+    array.elapse_unpowered(20e-6)
+    array.restore_power()
+    return float(_SRAM_BITS)
+
+
+def _sram_retention(seed: int) -> float:
+    """A miniature retention sweep: repeated decay/restore cycles."""
+    array = SramArray(
+        _SRAM_BITS, rng=generator(seed, "perf", "sram-sweep"),
+        name="perf.sram-sweep",
+    )
+    array.power_up()
+    for step in range(_RETENTION_STEPS):
+        array.power_down()
+        array.elapse_unpowered((step + 1) * 5e-6)
+        array.restore_power()
+    return float(_SRAM_BITS * _RETENTION_STEPS)
+
+
+def _dram_decay(seed: int) -> float:
+    """One unpowered decay interval of a DRAM module (cells processed)."""
+    module = DramArray(
+        _DRAM_BITS, rng=generator(seed, "perf", "dram"), name="perf.dram"
+    )
+    module.restore_power()
+    module.power_down()
+    module.elapse_unpowered(1.0)
+    module.restore_power()
+    return float(_DRAM_BITS)
+
+
+def _glitch_campaign(seed: int) -> float:
+    """A small glitch parameter search (attempts classified)."""
+    results = execute(shard_plan(seed, _GLITCH_SPEC), jobs=1)
+    return float(sum(len(attempts) for attempts in results))
+
+
+def _exec_spin(token: int) -> int:
+    """Module-level work unit (pool pickling requires it)."""
+    total = 0
+    for i in range(2000):
+        total = (total + (token + i) * (token ^ i)) & 0xFFFFFFFF
+    return total
+
+
+def _exec_engine(seed: int) -> float:
+    """Engine dispatch overhead over a plan of trivial units."""
+    plan = ShardPlan(
+        [
+            WorkUnit(index=i, fn=_exec_spin, args=(seed + i,),
+                     label=f"spin[{i}]")
+            for i in range(_EXEC_UNITS)
+        ]
+    )
+    execute(plan, jobs=1)
+    return float(_EXEC_UNITS)
+
+
+#: The suite, in trajectory-entry order.
+QUICK_WORKLOADS: tuple[QuickWorkload, ...] = (
+    QuickWorkload("quick.dram-decay", "cells_decayed_per_s", _dram_decay),
+    QuickWorkload("quick.exec-engine", "units_per_s", _exec_engine),
+    QuickWorkload("quick.glitch-campaign", "attempts_per_s", _glitch_campaign),
+    QuickWorkload("quick.sram-decay", "cells_decayed_per_s", _sram_decay),
+    QuickWorkload("quick.sram-retention", "cells_decayed_per_s",
+                  _sram_retention),
+)
+
+
+def run_quick_suite(seed: int) -> list[BenchEntry]:
+    """Time every quick workload; returns ``source: "quick"`` entries."""
+    entries = []
+    for workload in QUICK_WORKLOADS:
+        start = wall_clock()
+        units = workload.fn(seed)
+        wall_s = wall_clock() - start
+        if units <= 0.0:
+            raise PerfError(
+                f"quick workload {workload.name} processed no units"
+            )
+        rates = {workload.rate_key: units / wall_s} if wall_s > 0.0 else {}
+        entries.append(
+            BenchEntry(
+                name=workload.name,
+                source="quick",
+                wall_s=wall_s,
+                rates=rates,
+                seed=seed,
+            )
+        )
+    return entries

@@ -18,6 +18,8 @@ import pytest
 from repro import cli, obs
 from repro.exec import ShardPlan, checkpointing, execute
 from repro.obs import OBS
+from repro.obs.manifest import TIMING_METRIC_PREFIXES
+from repro.obs.timing import wall_clock
 
 from . import chaos_helpers
 
@@ -25,7 +27,11 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 
 
 def _physics(snapshot: dict) -> dict:
-    return {k: v for k, v in snapshot.items() if not k.startswith("exec.")}
+    return {
+        k: v
+        for k, v in snapshot.items()
+        if not k.startswith(TIMING_METRIC_PREFIXES)
+    }
 
 
 @pytest.fixture
@@ -61,8 +67,8 @@ class TestKillNineResume:
         )
         try:
             # Wait for at least two journalled units, then kill -9.
-            deadline = time.monotonic() + 30.0
-            while time.monotonic() < deadline:
+            deadline = wall_clock() + 30.0
+            while wall_clock() < deadline:
                 if (
                     journal.exists()
                     and len(journal.read_bytes().splitlines()) >= 3

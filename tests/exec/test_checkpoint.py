@@ -22,6 +22,7 @@ from repro.exec import (
     plan_fingerprint,
 )
 from repro.obs import OBS
+from repro.obs.manifest import TIMING_METRIC_PREFIXES
 
 
 def _observed_square(workdir: str, value: int):
@@ -62,7 +63,11 @@ def _clear(workdir) -> None:
 
 def _physics(snapshot: dict) -> dict:
     """The fingerprint-visible part of a metrics snapshot."""
-    return {k: v for k, v in snapshot.items() if not k.startswith("exec.")}
+    return {
+        k: v
+        for k, v in snapshot.items()
+        if not k.startswith(TIMING_METRIC_PREFIXES)
+    }
 
 
 @pytest.fixture

@@ -1,7 +1,7 @@
 """The gate: the shipped source tree must be lint-clean.
 
 This is the enforcement point for the repo's physics/determinism/error
-contracts — if any RL001–RL005 finding fires on ``src/``, this test
+contracts — if any RL001–RL006 finding fires on ``src/``, this test
 fails and names it.
 """
 
@@ -32,7 +32,7 @@ def test_no_suppression_comments_in_shipped_tree():
     assert offenders == []
 
 
-def test_all_five_domain_rules_are_registered():
+def test_all_six_domain_rules_are_registered():
     assert [rule.id for rule in all_rules()] == [
-        "RL001", "RL002", "RL003", "RL004", "RL005",
+        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
     ]

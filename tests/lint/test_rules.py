@@ -115,6 +115,39 @@ class TestDeliberateViolations:
         assert code == 1
         assert _rule_ids(doc) == {"RL005"}
 
+    def test_rl006_direct_clock_read(self, capsys, tmp_path):
+        # ``time`` arrives as a parameter so RL001's import ban stays
+        # out of the picture and only the clock-read rule can fire.
+        code, doc = _lint_json(
+            capsys, tmp_path,
+            "def measure(time):\n"
+            "    return time.perf_counter()\n",
+        )
+        assert code == 1
+        assert _rule_ids(doc) == {"RL006"}
+
+    def test_rl006_clock_reader_import(self, capsys, tmp_path):
+        code, doc = _lint_json(
+            capsys, tmp_path,
+            "from time import monotonic\n"
+            "\n"
+            "def measure():\n"
+            "    return monotonic()\n",
+            "--rule", "RL006",
+        )
+        assert code == 1
+        assert _rule_ids(doc) == {"RL006"}
+
+    def test_rl006_sleep_is_legal(self, capsys, tmp_path):
+        code, doc = _lint_json(
+            capsys, tmp_path,
+            "def nap(time, delay_s):\n"
+            "    time.sleep(delay_s)\n",
+            "--rule", "RL006",
+        )
+        assert code == 0
+        assert doc["findings"] == []
+
     def test_rl000_parse_error(self, capsys, tmp_path):
         code, doc = _lint_json(capsys, tmp_path, "def broken(:\n")
         assert code == 1

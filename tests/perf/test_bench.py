@@ -1,0 +1,148 @@
+"""BENCH_<n>.json assembly: sidecar ingestion, schema, sequencing."""
+
+import json
+
+import pytest
+
+from repro.errors import PerfError
+from repro.perf import (
+    BENCH_KIND,
+    BENCH_SCHEMA_VERSION,
+    BenchEntry,
+    bench_paths,
+    build_trajectory,
+    collect_sidecars,
+    entry_from_sidecar,
+    latest_bench,
+    load_bench,
+    next_sequence,
+    rates_from_metrics,
+    validate_bench,
+    write_bench,
+)
+
+from .conftest import make_sidecar
+
+
+class TestSidecarIngestion:
+    def test_entry_reads_wall_rates_and_seed(self, tmp_path):
+        path = make_sidecar(
+            tmp_path, "figure9", wall_s=4.0,
+            metrics={"sram.cells_decayed{array=a}": 800,
+                     "dram.cells_decayed{array=b}": 200,
+                     "glitch.attempts": 40},
+        )
+        entry = entry_from_sidecar(path)
+        assert entry.name == "figure9"
+        assert entry.source == "sidecar"
+        assert entry.wall_s == pytest.approx(4.0)
+        # counters pool across label sets before dividing by wall time
+        assert entry.rates["cells_decayed_per_s"] == pytest.approx(250.0)
+        assert entry.rates["attempts_per_s"] == pytest.approx(10.0)
+        assert entry.seed == 7
+
+    def test_serial_wall_gauge_beats_phase_sum(self, tmp_path):
+        path = make_sidecar(tmp_path, "sweep", wall_s=9.0, speedup=True)
+        entry = entry_from_sidecar(path)
+        assert entry.wall_s == pytest.approx(9.0)
+        assert entry.speedup == {
+            "jobs": 4.0, "serial_wall_s": 9.0,
+            "parallel_wall_s": 4.5, "speedup": 2.0,
+        }
+
+    def test_invalid_sidecar_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"kind": "benchmark"}))
+        with pytest.raises(PerfError, match="invalid manifest sidecar"):
+            entry_from_sidecar(bad)
+
+    def test_unreadable_sidecar_raises(self, tmp_path):
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        with pytest.raises(PerfError, match="unreadable sidecar"):
+            entry_from_sidecar(broken)
+
+    def test_collect_sidecars_is_name_sorted(self, tmp_path):
+        make_sidecar(tmp_path, "zeta")
+        make_sidecar(tmp_path, "alpha")
+        names = [entry.name for entry in collect_sidecars(tmp_path)]
+        assert names == ["alpha", "zeta"]
+
+    def test_collect_requires_directory(self, tmp_path):
+        with pytest.raises(PerfError, match="no benchmark results"):
+            collect_sidecars(tmp_path / "nope")
+
+
+class TestRates:
+    def test_zero_wall_yields_no_rates(self):
+        assert rates_from_metrics({"exec.units": 10}, 0.0) == {}
+
+    def test_histogram_values_are_ignored(self):
+        rates = rates_from_metrics(
+            {"exec.units": 8, "exec.shard_wall_s": {"count": 2}}, 2.0
+        )
+        assert rates == {"units_per_s": 4.0}
+
+
+class TestTrajectoryDocuments:
+    def test_build_is_schema_valid_and_name_sorted(self):
+        doc = build_trajectory(
+            [
+                BenchEntry("b", "quick", 1.0, {"units_per_s": 1.0}),
+                BenchEntry("a", "sidecar", 2.0, {}),
+            ],
+            sequence=3,
+            mode="full",
+            jobs=2,
+        )
+        assert doc["schema_version"] == BENCH_SCHEMA_VERSION
+        assert doc["kind"] == BENCH_KIND
+        assert doc["host"]["jobs"] == 2
+        assert doc["host"]["cpu_count"] >= 1
+        assert [b["name"] for b in doc["benchmarks"]] == ["a", "b"]
+
+    def test_bad_mode_and_sequence_raise(self):
+        with pytest.raises(PerfError, match="mode"):
+            build_trajectory([], 1, "warp")
+        with pytest.raises(PerfError, match="sequence"):
+            build_trajectory([], 0, "quick")
+
+    def test_validate_names_every_violation(self):
+        with pytest.raises(PerfError) as excinfo:
+            validate_bench(
+                {
+                    "schema_version": 99,
+                    "kind": "bench-trajectory",
+                    "benchmarks": [{"name": "x", "source": "psychic"}],
+                }
+            )
+        message = str(excinfo.value)
+        assert "schema_version" in message
+        assert "'mode'" in message
+        assert "'wall_s'" in message
+        assert "psychic" in message
+
+    def test_write_load_round_trip(self, tmp_path):
+        doc = build_trajectory(
+            [BenchEntry("a", "quick", 0.5, {"units_per_s": 2.0})],
+            sequence=1, mode="quick",
+        )
+        out = tmp_path / "BENCH_1.json"
+        write_bench(out, doc)
+        assert load_bench(out) == doc
+
+
+class TestSequencing:
+    def test_sequence_walks_committed_documents(self, tmp_path):
+        assert next_sequence(tmp_path) == 1
+        assert latest_bench(tmp_path) is None
+        for sequence in (1, 2, 10):
+            write_bench(
+                tmp_path / f"BENCH_{sequence}.json",
+                build_trajectory([], sequence, "quick"),
+            )
+        (tmp_path / "BENCH_notes.json").write_text("{}")  # no match
+        assert [seq for seq, _ in bench_paths(tmp_path)] == [1, 2, 10]
+        assert next_sequence(tmp_path) == 11
+        latest = latest_bench(tmp_path)
+        assert latest is not None and latest[0] == 10

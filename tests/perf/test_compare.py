@@ -1,0 +1,107 @@
+"""The regression gate and the trend report."""
+
+import pytest
+
+from repro.errors import PerfError
+from repro.perf import (
+    compare,
+    render_comparison,
+    render_trend,
+    trend,
+    write_bench,
+)
+
+from .conftest import make_bench_doc
+
+
+class TestGate:
+    def test_unchanged_run_passes(self):
+        doc = make_bench_doc({"a": 1.0, "b": 2.0})
+        comparison = compare(doc, doc)
+        assert comparison.passed
+        assert all(row.status == "ok" for row in comparison.rows)
+        assert "gate PASSED" in render_comparison(comparison)
+
+    def test_25_percent_slowdown_fails_the_20_percent_gate(self):
+        old = make_bench_doc({"a": 1.0, "b": 2.0})
+        new = make_bench_doc({"a": 1.25, "b": 2.0})
+        comparison = compare(old, new)
+        assert not comparison.passed
+        (regression,) = comparison.regressions
+        assert regression.name == "a"
+        assert regression.ratio == pytest.approx(1.25)
+        assert "gate FAILED" in render_comparison(comparison)
+
+    def test_within_threshold_slowdown_passes(self):
+        comparison = compare(
+            make_bench_doc({"a": 1.0}), make_bench_doc({"a": 1.15})
+        )
+        assert comparison.passed
+
+    def test_improvement_is_reported_not_gated(self):
+        comparison = compare(
+            make_bench_doc({"a": 2.0}), make_bench_doc({"a": 1.0})
+        )
+        assert comparison.passed
+        assert comparison.rows[0].status == "improved"
+
+    def test_added_and_missing_never_gate(self):
+        comparison = compare(
+            make_bench_doc({"a": 1.0, "gone": 5.0}),
+            make_bench_doc({"a": 1.0, "fresh": 9.0}),
+        )
+        assert comparison.passed
+        statuses = {row.name: row.status for row in comparison.rows}
+        assert statuses == {"a": "ok", "gone": "missing", "fresh": "added"}
+
+    def test_sub_millisecond_entries_never_gate(self):
+        comparison = compare(
+            make_bench_doc({"tiny": 0.0002}), make_bench_doc({"tiny": 0.0009})
+        )
+        assert comparison.passed  # 4.5x, but under the noise floor
+
+    def test_host_mismatch_is_noted(self):
+        comparison = compare(
+            make_bench_doc({"a": 1.0}, cpu_count=8),
+            make_bench_doc({"a": 1.0}, cpu_count=1),
+        )
+        assert any("host mismatch" in note for note in comparison.notes)
+        assert "advisory" in render_comparison(comparison)
+
+    def test_custom_threshold(self):
+        old = make_bench_doc({"a": 1.0})
+        new = make_bench_doc({"a": 1.15})
+        assert not compare(old, new, threshold=0.10).passed
+        with pytest.raises(PerfError, match="threshold"):
+            compare(old, new, threshold=0.0)
+
+    def test_to_dict_is_json_shaped(self):
+        doc = compare(
+            make_bench_doc({"a": 1.0}), make_bench_doc({"a": 2.0})
+        ).to_dict()
+        assert doc["passed"] is False
+        assert doc["regressions"] == 1
+        assert doc["rows"][0]["ratio"] == pytest.approx(2.0)
+
+
+class TestTrend:
+    def test_trend_orders_by_sequence(self, tmp_path):
+        write_bench(
+            tmp_path / "BENCH_2.json",
+            make_bench_doc({"a": 0.8, "late": 1.0}, sequence=2),
+        )
+        write_bench(
+            tmp_path / "BENCH_1.json",
+            make_bench_doc({"a": 1.0}, sequence=1),
+        )
+        report = trend(tmp_path)
+        assert report.sequences == [1, 2]
+        assert report.series["a"] == {1: 1.0, 2: 0.8}
+        assert report.series["late"] == {2: 1.0}
+        rendered = render_trend(report)
+        assert "BENCH_1" in rendered and "BENCH_2" in rendered
+        assert "| late | - | 1.0000 |" in rendered
+
+    def test_trend_requires_documents(self, tmp_path):
+        with pytest.raises(PerfError, match="no BENCH"):
+            trend(tmp_path)

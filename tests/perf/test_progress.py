@@ -1,0 +1,160 @@
+"""``repro progress``: tailing live and crashed checkpoint journals."""
+
+import base64
+import json
+import pickle
+
+import pytest
+
+from repro.errors import PerfError
+from repro.exec import CheckpointJournal, UnitRecord
+from repro.perf import find_journals, read_progress, render_progress
+from repro.perf.progress import ROLLING_WINDOW
+
+
+def write_journal(path, total, done, wall_s=0.5):
+    """A real journal with ``done`` of ``total`` units banked."""
+    journal = CheckpointJournal(str(path), "fp", total)
+    journal.start(fresh=True)
+    for index in range(done):
+        journal.append(
+            UnitRecord(index=index, result=index, metrics={}, spans=[],
+                       wall_s=wall_s)
+        )
+    journal.close()
+    return path
+
+
+class TestReadProgress:
+    def test_complete_journal(self, tmp_path):
+        path = write_journal(tmp_path / "j.jsonl", total=4, done=4)
+        report = read_progress(path)
+        assert (report.done, report.total) == (4, 4)
+        assert report.complete
+        assert not report.torn_tail
+        assert report.eta_s == 0.0
+        assert "complete" in render_progress(report)
+
+    def test_partial_journal_reports_throughput_and_eta(self, tmp_path):
+        path = write_journal(
+            tmp_path / "j.jsonl", total=10, done=4, wall_s=0.5
+        )
+        report = read_progress(path)
+        assert (report.done, report.remaining) == (4, 6)
+        assert report.fraction == pytest.approx(0.4)
+        assert report.throughput_units_per_s == pytest.approx(2.0)
+        assert report.eta_s == pytest.approx(3.0)
+        rendered = render_progress(report)
+        assert "4/10" in rendered and "ETA" in rendered
+
+    def test_torn_tail_is_discarded_like_resume(self, tmp_path):
+        path = write_journal(tmp_path / "j.jsonl", total=10, done=5)
+        raw = path.read_bytes()
+        lines = raw.split(b"\n")
+        # Keep header + 3 units, then half of unit 4: the kill -9 shape.
+        path.write_bytes(b"\n".join(lines[:4]) + b"\n" + lines[4][:25])
+        report = read_progress(path)
+        assert report.done == 3
+        assert report.torn_tail
+        assert "torn tail" in render_progress(report)
+
+    def test_rolling_window_uses_recent_units(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CheckpointJournal(str(path), "fp", ROLLING_WINDOW + 8)
+        journal.start(fresh=True)
+        # Old slow units, then a window of fast ones: the rolling rate
+        # must reflect only the fast tail.
+        for index in range(8):
+            journal.append(UnitRecord(index=index, result=0, wall_s=10.0))
+        for index in range(8, 8 + ROLLING_WINDOW):
+            journal.append(UnitRecord(index=index, result=0, wall_s=0.1))
+        journal.close()
+        report = read_progress(path)
+        assert report.rolling_units == ROLLING_WINDOW
+        assert report.throughput_units_per_s == pytest.approx(10.0)
+
+    def test_old_format_journal_falls_back_to_blob(self, tmp_path):
+        path = tmp_path / "old.jsonl"
+        blob = base64.b64encode(
+            pickle.dumps(
+                {"result": 1, "metrics": None, "spans": [], "wall_s": 2.0}
+            )
+        ).decode("ascii")
+        lines = [
+            {"kind": "header", "version": 1, "plan": "fp", "units": 2},
+            {"kind": "unit", "index": 0, "blob": blob},  # no outer wall_s
+        ]
+        path.write_text(
+            "".join(json.dumps(line) + "\n" for line in lines)
+        )
+        report = read_progress(path)
+        assert report.done == 1
+        assert report.wall_s_total == pytest.approx(2.0)
+
+    def test_unreadable_timing_still_counts_the_unit(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        lines = [
+            {"kind": "header", "version": 1, "plan": "fp", "units": 3},
+            {"kind": "unit", "index": 0, "blob": "not-base64-pickle"},
+        ]
+        path.write_text(
+            "".join(json.dumps(line) + "\n" for line in lines)
+        )
+        report = read_progress(path)
+        assert report.done == 1
+        assert report.throughput_units_per_s is None
+        assert report.eta_s is None
+        assert "unknown" in render_progress(report)
+
+
+class TestJournalRejection:
+    def test_empty_journal_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text("")
+        with pytest.raises(PerfError, match="empty"):
+            read_progress(path)
+
+    def test_missing_journal_raises(self, tmp_path):
+        with pytest.raises(PerfError, match="cannot read"):
+            read_progress(tmp_path / "nope.jsonl")
+
+    def test_torn_header_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_bytes(b'{"kind": "head')
+        with pytest.raises(PerfError, match="no complete header"):
+            read_progress(path)
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        path = write_journal(tmp_path / "j.jsonl", total=4, done=3)
+        raw = path.read_bytes().split(b"\n")
+        raw[2] = b"garbage{{{"
+        path.write_bytes(b"\n".join(raw))
+        with pytest.raises(PerfError, match="corrupt journal line"):
+            read_progress(path)
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            json.dumps({"kind": "header", "version": 99, "units": 1}) + "\n"
+        )
+        with pytest.raises(PerfError, match="version"):
+            read_progress(path)
+
+
+class TestFindJournals:
+    def test_single_file(self, tmp_path):
+        path = write_journal(tmp_path / "j.jsonl", total=1, done=1)
+        assert find_journals(path) == [path]
+
+    def test_checkpoint_directory_is_sorted(self, tmp_path):
+        second = write_journal(
+            tmp_path / "journal-001.jsonl", total=2, done=2
+        )
+        first = write_journal(
+            tmp_path / "journal-000.jsonl", total=2, done=2
+        )
+        assert find_journals(tmp_path) == [first, second]
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(PerfError, match="no .*journals"):
+            find_journals(tmp_path)

@@ -1,0 +1,60 @@
+"""Schema sweep over every committed benchmark sidecar.
+
+The trajectory aggregator ingests ``benchmarks/results/*.json``
+blindly, so each committed sidecar must stay a valid manifest whose
+fingerprint survives a JSON round trip and ignores wall-clock noise.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import manifest_fingerprint, validate_manifest
+from repro.perf import entry_from_sidecar
+
+RESULTS_DIR = Path(__file__).parents[2] / "benchmarks" / "results"
+
+SIDECARS = sorted(RESULTS_DIR.glob("*.json")) if RESULTS_DIR.is_dir() else []
+
+
+def _sidecar_id(path: Path) -> str:
+    return path.stem
+
+
+@pytest.mark.skipif(not SIDECARS, reason="no committed benchmark sidecars")
+class TestCommittedSidecars:
+    def test_the_suite_is_actually_committed(self):
+        # The sweep is meaningless if the glob silently matches nothing.
+        assert len(SIDECARS) >= 5
+
+    @pytest.mark.parametrize("path", SIDECARS, ids=_sidecar_id)
+    def test_sidecar_validates(self, path):
+        validate_manifest(json.loads(path.read_text()))
+
+    @pytest.mark.parametrize("path", SIDECARS, ids=_sidecar_id)
+    def test_fingerprint_round_trips_through_json(self, path):
+        doc = json.loads(path.read_text())
+        fingerprint = manifest_fingerprint(doc)
+        assert len(fingerprint) == 64
+        round_tripped = json.loads(json.dumps(doc))
+        assert manifest_fingerprint(round_tripped) == fingerprint
+
+    @pytest.mark.parametrize("path", SIDECARS, ids=_sidecar_id)
+    def test_fingerprint_ignores_wall_clock_noise(self, path):
+        doc = json.loads(path.read_text())
+        fingerprint = manifest_fingerprint(doc)
+        noisy = json.loads(json.dumps(doc))
+        for phase in noisy.get("phases", []):
+            phase["wall_s"] = 123.456
+        for key in list(noisy.get("metrics", {})):
+            if key.startswith(("exec.", "perf.")):
+                noisy["metrics"][key] = -1.0
+        noisy.setdefault("metrics", {})["perf.injected.per_s"] = 9.9
+        assert manifest_fingerprint(noisy) == fingerprint
+
+    @pytest.mark.parametrize("path", SIDECARS, ids=_sidecar_id)
+    def test_sidecar_feeds_the_trajectory_aggregator(self, path):
+        entry = entry_from_sidecar(path)
+        assert entry.source == "sidecar"
+        assert entry.wall_s > 0.0

@@ -1,0 +1,21 @@
+"""The quick workload suite behind ``repro bench --quick``."""
+
+from repro.perf import QUICK_WORKLOADS, run_quick_suite
+
+
+class TestQuickSuite:
+    def test_every_workload_reports_work_and_time(self):
+        entries = run_quick_suite(seed=13)
+        assert [e.name for e in entries] == [w.name for w in QUICK_WORKLOADS]
+        for entry in entries:
+            assert entry.source == "quick"
+            assert entry.seed == 13
+            assert entry.wall_s > 0.0
+            assert entry.rates, f"{entry.name} reported no rates"
+            assert all(rate > 0.0 for rate in entry.rates.values())
+
+    def test_suite_covers_every_trajectory_rate(self):
+        rate_keys = {w.rate_key for w in QUICK_WORKLOADS}
+        assert rate_keys == {
+            "cells_decayed_per_s", "attempts_per_s", "units_per_s"
+        }

@@ -36,6 +36,7 @@ SRC = REPO_ROOT / "src"
 sys.path.insert(0, str(SRC))
 
 from repro.obs import manifest_fingerprint  # noqa: E402
+from repro.obs.timing import wall_clock  # noqa: E402
 
 
 def _cli(args: list[str]) -> list[str]:
@@ -73,8 +74,8 @@ def _kill_mid_campaign(args: list[str], journal: Path, timeout_s: float) -> int:
         stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
     )
     try:
-        deadline = time.monotonic() + timeout_s
-        while time.monotonic() < deadline:
+        deadline = wall_clock() + timeout_s
+        while wall_clock() < deadline:
             if victim.poll() is not None:
                 raise SystemExit(
                     "harness error: victim finished before the kill "
