@@ -12,7 +12,10 @@ The guarantee rests on three rules, enforced by this package's API:
    plan-build time in the parent (``ShardPlan.with_spawned_streams``
    draws per-unit streams via :func:`repro.rng.spawn` in unit order);
 2. units are pure functions of their arguments — no shared mutable
-   state, no ambient entropy (the RL001 lint holds that line);
+   state, no ambient entropy (the RL001 lint holds the entropy line;
+   the project-wide RL007 shard-race lint walks the call graph from
+   every unit — syntactically discovered or marked with
+   :func:`shard_unit` — and flags shared-state writes);
 3. results merge by unit index, never by completion order.
 
 See ``docs/determinism.md`` for the full contract and
@@ -24,7 +27,7 @@ from __future__ import annotations
 from ..errors import CampaignInterrupted, CheckpointError, ExecError, ShardError
 from .engine import execute
 from .journal import CheckpointJournal, UnitRecord, plan_fingerprint
-from .plan import CHUNKS_PER_JOB, ShardPlan, WorkUnit
+from .plan import CHUNKS_PER_JOB, ShardPlan, WorkUnit, shard_unit
 from .runtime import (
     CheckpointPolicy,
     checkpoint_policy,
@@ -48,4 +51,5 @@ __all__ = [
     "execute",
     "plan_fingerprint",
     "set_checkpoint_policy",
+    "shard_unit",
 ]

@@ -31,6 +31,23 @@ from ..rng import spawn
 CHUNKS_PER_JOB = 4
 
 
+def shard_unit(fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Mark ``fn`` as a shard-unit entry point.
+
+    The marker is declarative: it returns ``fn`` unchanged (no wrapper,
+    so pool pickling still sees the original module-level function) and
+    only tags it for tooling.  ``repro-lint --project`` roots its
+    shard-race analysis (RL007) at every marked function in addition to
+    those it can discover syntactically from ``WorkUnit(fn=...)`` /
+    ``ShardPlan.enumerate(fn, ...)`` call sites — marking closes the
+    gap for units registered through indirection the linter cannot
+    follow.  Unit functions must be pure in their arguments: state in
+    through ``args``/``kwargs``, state out through the return value.
+    """
+    fn.__shard_unit__ = True
+    return fn
+
+
 @dataclass(frozen=True)
 class WorkUnit:
     """One independent unit of experiment work.

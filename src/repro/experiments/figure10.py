@@ -16,7 +16,7 @@ import numpy as np
 from ..analysis.hamming import block_hamming_profile
 from ..core.report import AttackReport
 from ..devices.builders import IMX53_IRAM_BASE
-from ..exec import ShardPlan, WorkUnit, execute
+from ..exec import ShardPlan, WorkUnit, execute, shard_unit
 from ..rng import DEFAULT_SEED
 from . import figure9
 from .common import manifested
@@ -81,6 +81,7 @@ def _find_clusters(profile: np.ndarray, threshold: int = 8) -> list[ErrorCluster
     return clusters
 
 
+@shard_unit
 def _profile_chunk(stored: bytes, recovered: bytes) -> np.ndarray:
     """Hamming profile of one contiguous slice of the iRAM image."""
     return block_hamming_profile(stored, recovered, block_bits=BLOCK_BITS)

@@ -30,7 +30,7 @@ from ..analysis.hamming import fractional_hamming_distance
 from ..core.report import AttackReport
 from ..devices import imx53_qsb, raspberry_pi_4
 from ..devices.builders import IMX53_IRAM_BASE
-from ..exec import ShardPlan, execute
+from ..exec import ShardPlan, execute, shard_unit
 from ..obs import OBS
 from ..resilience import (
     DEFAULT_NOISY_RIG,
@@ -163,6 +163,7 @@ def _leg(scenario, driver, truth, recovery) -> NoisyRigLeg:
     )
 
 
+@shard_unit
 def _run_leg(
     seed: int, scenario: str, driver: str, rng: np.random.Generator = None
 ) -> NoisyRigLeg:

@@ -30,7 +30,7 @@ from ..core.report import AttackReport
 from ..core.voltboot import VoltBootAttack
 from ..devices import raspberry_pi_4
 from ..errors import ProbeError
-from ..exec import ShardPlan, WorkUnit, execute
+from ..exec import ShardPlan, WorkUnit, execute, shard_unit
 from ..rng import DEFAULT_SEED, generator
 from ..units import milliamps
 from .common import ATTACKER_MEDIA, VICTIM_MEDIA, fill_dcache, snapshot_l1d
@@ -89,6 +89,7 @@ def _hold_voltage_accuracy(seed: int, hold_v: float) -> float:
     return max(0.0, 100.0 * (2.0 * surviving - 1.0))
 
 
+@shard_unit
 def _current_point(seed: int, limit: float) -> ProbePoint:
     """Board-level attack under one probe current limit."""
     supply = BenchSupply(voltage_v=0.8, current_limit_a=limit)
@@ -96,12 +97,14 @@ def _current_point(seed: int, limit: float) -> ProbePoint:
     return ProbePoint("current", limit, 0.8, accuracy, attached)
 
 
+@shard_unit
 def _hold_point(seed: int, hold_v: float) -> ProbePoint:
     """Cell-level retention at one reduced hold voltage."""
     accuracy = _hold_voltage_accuracy(seed, hold_v)
     return ProbePoint("hold-voltage", 3.0, hold_v, accuracy, True)
 
 
+@shard_unit
 def _attach_point(seed: int) -> ProbePoint:
     """A mis-set probe cannot be attached to the live rail at all."""
     bad_supply = BenchSupply(voltage_v=0.5, current_limit_a=3.0)

@@ -10,10 +10,11 @@ from __future__ import annotations
 from pathlib import Path
 
 from ..analysis.imaging import write_pgm
-from ..exec import ShardPlan, WorkUnit, execute
+from ..exec import ShardPlan, WorkUnit, execute, shard_unit
 from ..rng import DEFAULT_SEED
 
 
+@shard_unit
 def _render_figure3(out_dir: str, seed: int) -> list[Path]:
     from . import figure3
 
@@ -25,6 +26,7 @@ def _render_figure3(out_dir: str, seed: int) -> list[Path]:
     ]
 
 
+@shard_unit
 def _render_figure7(out_dir: str, seed: int) -> list[Path]:
     from . import figure7
 
@@ -39,6 +41,7 @@ def _render_figure7(out_dir: str, seed: int) -> list[Path]:
     ]
 
 
+@shard_unit
 def _render_figure8(out_dir: str, seed: int) -> list[Path]:
     from . import figure8
 
@@ -52,6 +55,7 @@ def _render_figure8(out_dir: str, seed: int) -> list[Path]:
     ]
 
 
+@shard_unit
 def _render_figure9(out_dir: str, seed: int) -> list[Path]:
     from . import figure9
 
@@ -64,6 +68,7 @@ def _render_figure9(out_dir: str, seed: int) -> list[Path]:
     return written
 
 
+@shard_unit
 def _render_glitch(out_dir: str, seed: int) -> list[Path]:
     from ..analysis.imaging import write_gray_pgm
     from ..glitch.campaign import DEFAULT_SPEC, CampaignSpec

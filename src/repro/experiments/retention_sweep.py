@@ -20,7 +20,7 @@ import numpy as np
 from ..circuits.dram import DramArray
 from ..circuits.sram import SramArray
 from ..core.report import AttackReport
-from ..exec import ShardPlan, WorkUnit, execute
+from ..exec import ShardPlan, WorkUnit, execute, shard_unit
 from ..rng import DEFAULT_SEED, generator
 from ..units import celsius_to_kelvin, microseconds, milliseconds
 from .common import manifested
@@ -93,6 +93,7 @@ def _dram_retention(seed: int, temperature_c: float, off_time_s: float) -> float
     return float(np.mean(dram.image() == reference))
 
 
+@shard_unit
 def _voltboot_retention(seed: int) -> float:
     """Probe-held SRAM: supply never leaves the retention region."""
     sram = SramArray(SWEEP_BITS, rng=generator(seed, "sweep-vb"))
@@ -105,6 +106,7 @@ def _voltboot_retention(seed: int) -> float:
     return float(np.mean(sram.image() == reference))
 
 
+@shard_unit
 def _grid_point(
     seed: int, temperature: float, off_time: float
 ) -> tuple[RetentionPoint, RetentionPoint]:

@@ -16,7 +16,7 @@ from ..analysis.hamming import bit_error_percent, fractional_hamming_distance
 from ..core.coldboot import ColdBootAttack
 from ..core.report import AttackReport
 from ..devices import raspberry_pi_4
-from ..exec import ShardPlan, execute
+from ..exec import ShardPlan, execute, shard_unit
 from ..rng import DEFAULT_SEED
 from ..units import milliseconds
 from .common import ATTACKER_MEDIA, VICTIM_MEDIA, fill_dcache, snapshot_l1d
@@ -54,6 +54,7 @@ def _headline(rows: "list[Table1Row]") -> dict[str, float]:
     }
 
 
+@shard_unit
 def _temperature_point(
     seed: int, position: int, temperature: float
 ) -> Table1Row:

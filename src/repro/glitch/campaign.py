@@ -34,7 +34,7 @@ from ..cpu.core import Core
 from ..cpu.programs import pin_check
 from ..devices import glitch_rig
 from ..errors import CpuFault, GlitchError
-from ..exec import ShardPlan, WorkUnit
+from ..exec import ShardPlan, WorkUnit, shard_unit
 from ..obs import OBS
 from ..obs.timing import observe_rate, wall_clock
 from ..rng import generator
@@ -293,6 +293,7 @@ def _one_attempt(
     )
 
 
+@shard_unit
 def run_point(
     seed: int,
     leg: str,

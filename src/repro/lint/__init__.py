@@ -9,38 +9,83 @@ checks them statically, with a pluggable rule framework, a
 ``repro-lint`` console script, per-line ``# repro-lint: ignore[RULE]``
 suppressions, and ``[tool.repro-lint]`` configuration.
 
+On top of the per-file rules sits a project-wide *flow* layer
+(:mod:`repro.lint.flow`): every module is distilled into a
+JSON-serializable summary (imports, call sites, shared-state writes,
+unordered iterations, timing taint), the summaries are linked into a
+:class:`~repro.lint.flow.ProjectModel` with a cross-module call graph,
+and interprocedural rules check it — shard-race freedom (RL007),
+iteration-order determinism (RL008), and fingerprint purity (RL009).
+``repro-lint --project`` runs both families, with a content-addressed
+summary cache and optional finding baselines.
+
 Library use::
 
-    from repro.lint import lint_paths
+    from repro.lint import lint_paths, lint_project
 
-    findings = lint_paths(["src"])   # [] on a clean tree
+    findings = lint_paths(["src"])      # per-file rules, [] when clean
+    findings = lint_project(["src"])    # + RL007/RL008/RL009
 """
 
 from __future__ import annotations
 
+from .baseline import Baseline, load_baseline, write_baseline
 from .config import LintConfig, load_config
 from .engine import (
     PARSE_ERROR_RULE,
+    flow_findings,
     iter_python_files,
     lint_file,
     lint_paths,
+    lint_project,
     lint_source,
 )
 from .findings import Finding
-from .rules import FileContext, Rule, all_rules, register, select_rules
+from .flow import (
+    DEFAULT_CACHE_PATH,
+    ProjectModel,
+    SummaryCache,
+    build_project,
+)
+from .rules import (
+    FileContext,
+    FlowRule,
+    Rule,
+    all_flow_rules,
+    all_rules,
+    known_rule_ids,
+    register,
+    register_flow,
+    select_flow_rules,
+    select_rules,
+)
 
 __all__ = [
+    "Baseline",
+    "DEFAULT_CACHE_PATH",
     "Finding",
     "FileContext",
+    "FlowRule",
     "LintConfig",
     "PARSE_ERROR_RULE",
+    "ProjectModel",
     "Rule",
+    "SummaryCache",
+    "all_flow_rules",
     "all_rules",
+    "build_project",
+    "flow_findings",
     "iter_python_files",
+    "known_rule_ids",
     "lint_file",
     "lint_paths",
+    "lint_project",
     "lint_source",
+    "load_baseline",
     "load_config",
     "register",
+    "register_flow",
+    "select_flow_rules",
     "select_rules",
+    "write_baseline",
 ]

@@ -1,0 +1,115 @@
+"""Finding baselines: adopt flow analysis on a tree with known debt.
+
+A baseline is a JSON snapshot of the findings a tree currently has.
+``repro-lint --write-baseline FILE`` records them; later runs with
+``--baseline FILE`` report only findings *not* in the snapshot, so new
+regressions fail CI while the recorded debt is paid down separately.
+
+Findings are keyed by ``rule::path::message`` — deliberately excluding
+line/column so that unrelated edits shifting a finding up or down the
+file do not "un-baseline" it.  Identical findings are counted: if a
+file gains a *second* instance of a baselined finding, the extra one
+is reported.  The repo's own tree carries an empty baseline — the
+acceptance bar is zero findings, and the mechanism exists for forks
+and feature branches mid-cleanup.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..errors import LintError
+from .findings import Finding
+
+#: Bump when the baseline JSON layout changes incompatibly.
+BASELINE_SCHEMA_VERSION = 1
+
+
+def finding_key(finding: Finding) -> str:
+    """Stable identity of a finding across line-number churn."""
+    return f"{finding.rule}::{finding.path}::{finding.message}"
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """An accepted-findings snapshot: key -> occurrence count."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def filter(self, findings: Sequence[Finding]) -> list[Finding]:
+        """Return the findings not covered by the baseline.
+
+        Each baselined key absorbs up to its recorded count; surplus
+        occurrences (and unknown keys) pass through in input order.
+        """
+        remaining = dict(self.counts)
+        fresh: list[Finding] = []
+        for finding in findings:
+            key = finding_key(finding)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+            else:
+                fresh.append(finding)
+        return fresh
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": BASELINE_SCHEMA_VERSION,
+            "findings": {key: self.counts[key] for key in sorted(self.counts)},
+        }
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        counts: dict[str, int] = {}
+        for finding in findings:
+            key = finding_key(finding)
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts=counts)
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> Baseline:
+    """Snapshot ``findings`` to ``path`` as schema-versioned JSON."""
+    baseline = Baseline.from_findings(findings)
+    target = Path(path)
+    try:
+        target.write_text(
+            json.dumps(baseline.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    except OSError as error:
+        raise LintError(f"cannot write baseline {target}: {error}")
+    return baseline
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Load a baseline; malformed or unreadable files raise LintError."""
+    source = Path(path)
+    try:
+        raw = json.loads(source.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise LintError(f"cannot read baseline {source}: {error}")
+    except json.JSONDecodeError as error:
+        raise LintError(f"baseline {source} is not valid JSON: {error}")
+    if not isinstance(raw, dict):
+        raise LintError(f"baseline {source}: expected a JSON object")
+    version = raw.get("schema_version")
+    if version != BASELINE_SCHEMA_VERSION:
+        raise LintError(
+            f"baseline {source}: schema_version {version!r} unsupported "
+            f"(expected {BASELINE_SCHEMA_VERSION})"
+        )
+    findings = raw.get("findings")
+    if not isinstance(findings, dict):
+        raise LintError(f"baseline {source}: 'findings' must be an object")
+    counts: dict[str, int] = {}
+    for key, count in findings.items():
+        if not isinstance(key, str) or not isinstance(count, int) or count < 1:
+            raise LintError(
+                f"baseline {source}: entry {key!r} must map a string key "
+                f"to a positive count"
+            )
+        counts[key] = count
+    return Baseline(counts=counts)

@@ -3,6 +3,15 @@
 Exit codes follow the PR 1 CLI convention: 0 for a clean tree, 1 when
 findings are reported, 2 for usage/configuration/IO failures — the
 latter always as a one-line error on stderr, never a traceback.
+
+``--project`` adds the whole-program flow rules (RL007 shard-race,
+RL008 iteration-order, RL009 fingerprint-purity) on top of the
+per-file checks, linking every module into one call graph.  Flow
+analysis reuses per-module summaries through an mtime+sha256 cache
+(``.repro-lint-cache.json``; ``--no-cache`` disables, ``--cache FILE``
+relocates).  ``--write-baseline``/``--baseline`` snapshot and subtract
+known findings so a tree can gate on *new* regressions while paying
+down recorded debt.
 """
 
 from __future__ import annotations
@@ -14,9 +23,11 @@ from collections.abc import Sequence
 from pathlib import Path
 
 from ..errors import LintError
+from .baseline import load_baseline, write_baseline
 from .config import LintConfig, load_config
-from .engine import iter_python_files, lint_file
-from .rules import all_rules, select_rules
+from .engine import flow_findings, iter_python_files, lint_file
+from .flow import DEFAULT_CACHE_PATH, SummaryCache
+from .rules import all_flow_rules, all_rules, select_rules
 
 #: Version of the ``--format json`` document layout.
 JSON_SCHEMA_VERSION = 1
@@ -57,6 +68,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help="ignore any [tool.repro-lint] configuration",
     )
     parser.add_argument(
+        "--project", action="store_true",
+        help="also run the project-wide flow rules (RL007+): call-graph "
+        "shard-race, iteration-order, and fingerprint-taint analysis",
+    )
+    parser.add_argument(
+        "--cache", metavar="FILE", default=None,
+        help=f"flow summary cache location (default: {DEFAULT_CACHE_PATH}; "
+        "only used with --project)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="re-summarize every module instead of using the flow cache",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="subtract findings recorded in this baseline JSON "
+        "(default: [tool.repro-lint] baseline, if set)",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="FILE", default=None,
+        help="record the current findings to FILE and exit 0",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
@@ -66,6 +100,11 @@ def _build_parser() -> argparse.ArgumentParser:
 def _list_rules() -> int:
     for rule in all_rules():
         print(f"{rule.id}  {rule.name}: {rule.description}")
+    for flow_rule in all_flow_rules():
+        print(
+            f"{flow_rule.id}  {flow_rule.name} (project-wide): "
+            f"{flow_rule.description}"
+        )
     return 0
 
 
@@ -82,6 +121,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.list_rules:
         return _list_rules()
+    cache: SummaryCache | None = None
     try:
         if args.no_config:
             config = LintConfig()
@@ -95,6 +135,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         findings = []
         for path in files:
             findings.extend(lint_file(path, rules))
+        if args.project:
+            if not args.no_cache:
+                cache = SummaryCache(Path(args.cache or DEFAULT_CACHE_PATH))
+            findings.extend(flow_findings(files, select, cache))
+            if cache is not None:
+                cache.save()
+        findings.sort()
+        if args.write_baseline:
+            write_baseline(args.write_baseline, findings)
+            print(
+                f"repro-lint: baseline {args.write_baseline} written "
+                f"({len(findings)} finding(s))",
+                file=sys.stderr,
+            )
+            return 0
+        baseline_path = args.baseline or config.baseline
+        if baseline_path:
+            findings = load_baseline(baseline_path).filter(findings)
     except LintError as error:
         print(f"repro-lint: error: {error}", file=sys.stderr)
         return 2

@@ -1,10 +1,12 @@
 """``[tool.repro-lint]`` configuration in ``pyproject.toml``.
 
-Three keys, all optional, all lists of strings:
+Four keys, all optional:
 
 * ``paths`` — what to lint when the CLI gets no path arguments;
 * ``select`` — default rule ids (all rules when empty);
-* ``exclude`` — glob patterns for files to skip.
+* ``exclude`` — glob patterns for files to skip;
+* ``baseline`` — a baseline JSON file applied by ``--project`` runs
+  (a string; the CLI ``--baseline`` flag overrides it).
 
 Discovery walks up from the working directory; a malformed table raises
 :class:`~repro.errors.LintConfigError`, which the CLI turns into a
@@ -20,7 +22,7 @@ from pathlib import Path
 from ..errors import LintConfigError
 
 _SECTION = ("tool", "repro-lint")
-_KEYS = ("paths", "select", "exclude")
+_KEYS = ("paths", "select", "exclude", "baseline")
 
 
 @dataclass(frozen=True)
@@ -30,6 +32,7 @@ class LintConfig:
     paths: tuple[str, ...] = ()
     select: tuple[str, ...] = ()
     exclude: tuple[str, ...] = ()
+    baseline: str | None = None
     source: Path | None = None
 
 
@@ -92,9 +95,15 @@ def load_config(pyproject: Path | None = None) -> LintConfig:
             f"{pyproject}: unknown [tool.repro-lint] key(s): "
             f"{', '.join(unknown)}"
         )
+    baseline = table.get("baseline")
+    if baseline is not None and not isinstance(baseline, str):
+        raise LintConfigError(
+            f"{pyproject}: [tool.repro-lint] key 'baseline' must be a string"
+        )
     return LintConfig(
         paths=_string_tuple(table.get("paths", []), "paths", pyproject),
         select=_string_tuple(table.get("select", []), "select", pyproject),
         exclude=_string_tuple(table.get("exclude", []), "exclude", pyproject),
+        baseline=baseline,
         source=pyproject,
     )

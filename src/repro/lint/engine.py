@@ -114,3 +114,58 @@ def lint_paths(
     for path in iter_python_files(paths, exclude):
         findings.extend(lint_file(path, rules))
     return findings
+
+
+def flow_findings(
+    files: Sequence[Path],
+    select: tuple[str, ...] | None = None,
+    cache: "SummaryCache | None" = None,
+) -> list[Finding]:
+    """Run the project-wide flow rules (RL007+) over ``files``.
+
+    Builds one linked :class:`~repro.lint.flow.ProjectModel` (through
+    the summary ``cache`` when given) and checks every selected flow
+    rule against it.  Suppression comments apply exactly as for
+    per-file rules — the summaries carry each file's suppression map,
+    so cached files never need re-reading.
+    """
+    from .flow import build_project
+    from .rules import select_flow_rules
+
+    rules = select_flow_rules(tuple(select) if select else None)
+    if not rules:
+        return []
+    project = build_project(files, cache)
+    suppressions = {
+        summary.path: summary.suppression_map()
+        for summary in project.modules.values()
+    }
+    findings = [
+        finding
+        for rule in rules
+        for finding in rule.check_project(project)
+        if not is_suppressed(
+            suppressions.get(finding.path, {}), finding.line, finding.rule
+        )
+    ]
+    return sorted(findings)
+
+
+def lint_project(
+    paths: Iterable[str | Path],
+    select: tuple[str, ...] | None = None,
+    exclude: Sequence[str] = (),
+    cache: "SummaryCache | None" = None,
+) -> list[Finding]:
+    """Per-file rules plus project-wide flow rules over whole trees.
+
+    The library-level equivalent of ``repro-lint --project``: findings
+    from both rule families, merged and sorted.
+    """
+    files = iter_python_files(paths, exclude)
+    rules = select_rules(tuple(select) if select else None)
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(lint_file(path, rules))
+    findings.extend(flow_findings(files, select, cache))
+    return sorted(findings)

@@ -1,0 +1,113 @@
+"""The mtime+hash summary cache behind ``repro-lint --project``.
+
+Project analysis re-parses every file on every run unless something
+remembers the per-file digests.  The cache stores each file's
+:class:`~repro.lint.flow.summarize.ModuleSummary` (plain JSON) keyed by
+``(mtime_ns, sha256)``: an unchanged mtime short-circuits without even
+hashing; a touched-but-identical file re-validates by content hash; a
+changed file is re-summarized.  The cache file itself is disposable —
+any read problem (missing, corrupt, wrong schema version) silently
+degrades to a cold start, and write failures never fail the lint run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from .summarize import (
+    SUMMARY_SCHEMA_VERSION,
+    ModuleSummary,
+    module_name_for,
+    summarize_source,
+)
+
+#: Default cache location, relative to the invocation directory.
+DEFAULT_CACHE_PATH = ".repro-lint-cache.json"
+
+#: Version of the cache file layout (independent of the summary schema,
+#: which is keyed separately so either can move alone).
+CACHE_SCHEMA_VERSION = 1
+
+
+class SummaryCache:
+    """Loads, consults, and persists per-file summary entries."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._entries: dict[str, dict] = {}
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            doc = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(doc, dict):
+            return
+        if doc.get("cache_version") != CACHE_SCHEMA_VERSION:
+            return
+        if doc.get("summary_version") != SUMMARY_SCHEMA_VERSION:
+            return
+        entries = doc.get("files")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def summarize(self, path: Path) -> ModuleSummary:
+        """The file's summary — cached when mtime or content matches."""
+        key = str(path.resolve())
+        try:
+            mtime_ns = path.stat().st_mtime_ns
+            source = None
+            entry = self._entries.get(key)
+            if entry is not None:
+                if entry.get("mtime_ns") == mtime_ns:
+                    self.hits += 1
+                    return ModuleSummary.from_dict(entry["summary"])
+                source = path.read_text(encoding="utf-8")
+                digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+                if entry.get("sha256") == digest:
+                    # Touched but identical: refresh the mtime key only.
+                    entry["mtime_ns"] = mtime_ns
+                    self._dirty = True
+                    self.hits += 1
+                    return ModuleSummary.from_dict(entry["summary"])
+            if source is None:
+                source = path.read_text(encoding="utf-8")
+            digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        except (OSError, UnicodeDecodeError):
+            summary = ModuleSummary(
+                module=module_name_for(path), path=str(path)
+            )
+            summary.parse_error = True
+            return summary
+        self.misses += 1
+        summary = summarize_source(source, str(path), module_name_for(path))
+        self._entries[key] = {
+            "mtime_ns": mtime_ns,
+            "sha256": digest,
+            "summary": summary.to_dict(),
+        }
+        self._dirty = True
+        return summary
+
+    def save(self) -> None:
+        """Persist the cache; IO failures are deliberately swallowed."""
+        if not self._dirty:
+            return
+        doc = {
+            "cache_version": CACHE_SCHEMA_VERSION,
+            "summary_version": SUMMARY_SCHEMA_VERSION,
+            "files": self._entries,
+        }
+        try:
+            self.path.write_text(
+                json.dumps(doc, sort_keys=True), encoding="utf-8"
+            )
+            self._dirty = False
+        except OSError:
+            pass

@@ -1,0 +1,121 @@
+"""Interprocedural timing-taint propagation (the RL009 engine).
+
+The extraction pass records, for every function, a flow-insensitive
+dataflow skeleton: which locals are assigned from which reads/calls,
+what the function returns, and where values land in fingerprinted
+manifest fields or metrics.  This module solves the whole-program
+fixpoint over those skeletons:
+
+1. a function **returns taint** if any returned expression contains a
+   direct timing source (``repro.obs.timing.wall_clock`` and friends),
+   reads a tainted local, or calls a taint-returning function;
+2. a local is **tainted** if any assignment to it does the same;
+3. a **sink is tainted** under the same test — and that is an RL009
+   finding.
+
+The analysis is deliberately flow-insensitive (a variable tainted
+anywhere in a function is tainted everywhere in it) and silent on
+calls it cannot resolve — over-approximate inside a function, but
+never guessing across unknown call boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .project import ProjectModel
+from .summarize import Flow, FunctionSummary, Sink
+
+
+@dataclass(frozen=True)
+class TaintedSink:
+    """One tainted fingerprint sink, with where and why."""
+
+    function: str  # canonical function key
+    path: str
+    sink: Sink
+    reason: str
+
+
+def _resolved_calls(
+    project: ProjectModel, calls: tuple[str, ...]
+) -> list[str]:
+    out = []
+    for name in calls:
+        resolved = project.resolve_function(name)
+        if resolved is not None:
+            out.append(resolved)
+    return out
+
+
+def _flow_tainted(
+    project: ProjectModel,
+    flow: Flow | Sink,
+    tainted_vars: set[str],
+    taint_returning: set[str],
+) -> str | None:
+    """Why this flow's value is tainted, or None if it is clean."""
+    if flow.source:
+        return "a direct repro.obs.timing read"
+    for read in flow.reads:
+        if read in tainted_vars:
+            return f"tainted local {read!r}"
+    for callee in _resolved_calls(project, flow.calls):
+        if callee in taint_returning:
+            return f"taint-returning call {callee}()"
+    return None
+
+
+def _local_fixpoint(
+    project: ProjectModel,
+    fn: FunctionSummary,
+    taint_returning: set[str],
+) -> tuple[set[str], bool]:
+    """(tainted locals, returns-taint) for one function."""
+    tainted: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for flow in fn.flows:
+            if flow.target is None or flow.target in tainted:
+                continue
+            if _flow_tainted(project, flow, tainted, taint_returning):
+                tainted.add(flow.target)
+                changed = True
+    returns = fn.returns_source or any(
+        flow.target is None
+        and _flow_tainted(project, flow, tainted, taint_returning)
+        for flow in fn.flows
+    )
+    return tainted, returns
+
+
+def solve(project: ProjectModel) -> list[TaintedSink]:
+    """Run the global fixpoint; returns every tainted sink, sorted."""
+    taint_returning: set[str] = set()
+    # Phase 1: stabilise the taint-returning set across all functions.
+    changed = True
+    while changed:
+        changed = False
+        for key, (_, fn) in project.functions.items():
+            if key in taint_returning:
+                continue
+            _, returns = _local_fixpoint(project, fn, taint_returning)
+            if returns:
+                taint_returning.add(key)
+                changed = True
+    # Phase 2: judge every sink against the final taint state.
+    findings: list[TaintedSink] = []
+    for key in sorted(project.functions):
+        summary, fn = project.functions[key]
+        if not fn.sinks:
+            continue
+        tainted_vars, _ = _local_fixpoint(project, fn, taint_returning)
+        for sink in fn.sinks:
+            reason = _flow_tainted(project, sink, tainted_vars, taint_returning)
+            if reason is not None:
+                findings.append(TaintedSink(
+                    function=key, path=summary.path, sink=sink,
+                    reason=reason,
+                ))
+    return findings

@@ -1,7 +1,9 @@
 """The rule registry.
 
 Importing this package imports every rule module, which registers its
-rule class via the :func:`~repro.lint.rules.base.register` decorator.
+rule class via the :func:`~repro.lint.rules.base.register` (per-file)
+or :func:`~repro.lint.rules.base.register_flow` (project-wide)
+decorator.
 """
 
 from __future__ import annotations
@@ -13,13 +15,32 @@ from . import (  # noqa: F401  (imported for registration side effects)
     rl004_float_eq,
     rl005_obs,
     rl006_timing,
+    rl007_shard_race,
+    rl008_iter_order,
+    rl009_fingerprint_purity,
 )
-from .base import FileContext, Rule, all_rules, register, select_rules
+from .base import (
+    FileContext,
+    FlowRule,
+    Rule,
+    all_flow_rules,
+    all_rules,
+    known_rule_ids,
+    register,
+    register_flow,
+    select_flow_rules,
+    select_rules,
+)
 
 __all__ = [
     "FileContext",
+    "FlowRule",
     "Rule",
+    "all_flow_rules",
     "all_rules",
+    "known_rule_ids",
     "register",
+    "register_flow",
+    "select_flow_rules",
     "select_rules",
 ]

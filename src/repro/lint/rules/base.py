@@ -102,7 +102,46 @@ class Rule(ABC):
         )
 
 
+class FlowRule(ABC):
+    """One project-wide rule: checks a linked :class:`ProjectModel`.
+
+    Flow rules only run under ``repro-lint --project`` — they need the
+    whole module graph, so there is no per-file ``visit``.  Subclasses
+    implement :meth:`check_project` and yield findings pinned to the
+    file/line of the offending event.
+    """
+
+    id: ClassVar[str]
+    name: ClassVar[str]
+    severity: ClassVar[str] = "error"
+    description: ClassVar[str]
+
+    @abstractmethod
+    def check_project(self, project) -> Iterator[Finding]:
+        """Yield findings for one linked project model."""
+
+    def finding(
+        self,
+        path: str,
+        line: int,
+        col: int,
+        message: str,
+        hint: str | None = None,
+    ) -> Finding:
+        """Build a finding at an explicit location."""
+        return Finding(
+            path=path,
+            line=line,
+            col=col,
+            rule=self.id,
+            severity=self.severity,
+            message=message,
+            hint=hint,
+        )
+
+
 _REGISTRY: dict[str, Rule] = {}
+_FLOW_REGISTRY: dict[str, FlowRule] = {}
 
 
 def register(cls: type[Rule]) -> type[Rule]:
@@ -111,20 +150,59 @@ def register(cls: type[Rule]) -> type[Rule]:
     return cls
 
 
+def register_flow(cls: type[FlowRule]) -> type[FlowRule]:
+    """Class decorator adding a flow rule to the project registry."""
+    _FLOW_REGISTRY[cls.id] = cls()
+    return cls
+
+
 def all_rules() -> tuple[Rule, ...]:
-    """Every registered rule, ordered by id."""
+    """Every registered per-file rule, ordered by id."""
     return tuple(rule for _, rule in sorted(_REGISTRY.items()))
 
 
+def all_flow_rules() -> tuple[FlowRule, ...]:
+    """Every registered project-wide flow rule, ordered by id."""
+    return tuple(rule for _, rule in sorted(_FLOW_REGISTRY.items()))
+
+
+def known_rule_ids() -> tuple[str, ...]:
+    """Every rule id, per-file and flow, ordered."""
+    return tuple(sorted({*_REGISTRY, *_FLOW_REGISTRY}))
+
+
 def select_rules(ids: tuple[str, ...] | None) -> tuple[Rule, ...]:
-    """Resolve rule ids to rules; unknown ids raise :class:`LintError`."""
+    """Resolve rule ids to per-file rules.
+
+    With explicit ids, unknown ones raise :class:`LintError` — unless
+    the id names a flow rule, which is simply not a per-file rule and
+    resolves to nothing here (the CLI selects flow rules separately).
+    """
     if not ids:
         return all_rules()
     rules = []
     for rule_id in ids:
         key = rule_id.upper()
+        if key in _FLOW_REGISTRY:
+            continue
         if key not in _REGISTRY:
-            known = ", ".join(sorted(_REGISTRY))
+            known = ", ".join(known_rule_ids())
             raise LintError(f"unknown rule {rule_id!r} (known rules: {known})")
         rules.append(_REGISTRY[key])
+    return tuple(dict.fromkeys(rules))
+
+
+def select_flow_rules(ids: tuple[str, ...] | None) -> tuple[FlowRule, ...]:
+    """Resolve rule ids to flow rules (unknown ids raise, like above)."""
+    if not ids:
+        return all_flow_rules()
+    rules = []
+    for rule_id in ids:
+        key = rule_id.upper()
+        if key in _REGISTRY:
+            continue
+        if key not in _FLOW_REGISTRY:
+            known = ", ".join(known_rule_ids())
+            raise LintError(f"unknown rule {rule_id!r} (known rules: {known})")
+        rules.append(_FLOW_REGISTRY[key])
     return tuple(dict.fromkeys(rules))

@@ -278,7 +278,7 @@ def validate_bench(doc: dict[str, Any]) -> dict[str, Any]:
 def bench_paths(root: str | Path) -> list[tuple[int, Path]]:
     """Every ``BENCH_<n>.json`` at ``root``, ordered by sequence."""
     found = []
-    for path in Path(root).glob("BENCH_*.json"):
+    for path in sorted(Path(root).glob("BENCH_*.json")):
         match = BENCH_FILE_RE.match(path.name)
         if match:
             found.append((int(match.group(1)), path))

@@ -24,7 +24,7 @@ from typing import Callable
 from ..circuits.dram import DramArray
 from ..circuits.sram import SramArray
 from ..errors import PerfError
-from ..exec import ShardPlan, WorkUnit, execute
+from ..exec import ShardPlan, WorkUnit, execute, shard_unit
 from ..glitch.campaign import CampaignSpec, shard_plan
 from ..obs.timing import wall_clock
 from ..rng import generator
@@ -103,6 +103,7 @@ def _glitch_campaign(seed: int) -> float:
     return float(sum(len(attempts) for attempts in results))
 
 
+@shard_unit
 def _exec_spin(token: int) -> int:
     """Module-level work unit (pool pickling requires it)."""
     total = 0
@@ -124,11 +125,33 @@ def _exec_engine(seed: int) -> float:
     return float(_EXEC_UNITS)
 
 
+def _lint_project(seed: int) -> float:
+    """Flow-analysis throughput: summarize + link + check the src tree.
+
+    Cold analysis (no summary cache) so the rate tracks the extractor
+    and linker themselves, not disk-cache hits; ``seed`` is unused —
+    the linter is deterministic by construction — but the signature
+    matches the suite.  Returns files analysed.
+    """
+    del seed
+    from pathlib import Path
+
+    from ..lint.engine import flow_findings, iter_python_files
+
+    package_root = Path(__file__).resolve().parents[1]
+    files = iter_python_files([package_root])
+    if not files:
+        raise PerfError(f"quick.lint-project found no files under {package_root}")
+    flow_findings(files)
+    return float(len(files))
+
+
 #: The suite, in trajectory-entry order.
 QUICK_WORKLOADS: tuple[QuickWorkload, ...] = (
     QuickWorkload("quick.dram-decay", "cells_decayed_per_s", _dram_decay),
     QuickWorkload("quick.exec-engine", "units_per_s", _exec_engine),
     QuickWorkload("quick.glitch-campaign", "attempts_per_s", _glitch_campaign),
+    QuickWorkload("quick.lint-project", "files_per_s", _lint_project),
     QuickWorkload("quick.sram-decay", "cells_decayed_per_s", _sram_decay),
     QuickWorkload("quick.sram-retention", "cells_decayed_per_s",
                   _sram_retention),

@@ -1,0 +1,31 @@
+"""Shared helpers for the lint test suite.
+
+Flow-analysis tests build throwaway package trees on disk and analyse
+them without importing them — the same contract as the linter itself.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture
+def make_tree(tmp_path):
+    """Write ``{relpath: source}`` files under a fresh root; returns it.
+
+    Sources are dedented so tests can use indented triple-quoted
+    literals.  Call it once per fixture tree.
+    """
+
+    def build(files: dict[str, str], root: str = "tree") -> Path:
+        base = tmp_path / root
+        for rel, source in files.items():
+            path = base / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return base
+
+    return build

@@ -1,0 +1,96 @@
+"""Baseline snapshots: stable keys, counting, and strict loading."""
+
+import json
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import Finding, load_baseline, write_baseline
+from repro.lint.baseline import Baseline, finding_key
+
+
+def finding(rule="RL008", path="pkg/m.py", line=3, message="unsorted scan"):
+    return Finding(
+        path=path, line=line, col=1, rule=rule,
+        severity="error", message=message,
+    )
+
+
+class TestKeys:
+    def test_key_ignores_line_and_column(self):
+        a = finding(line=3)
+        b = finding(line=300)
+        assert finding_key(a) == finding_key(b)
+
+    def test_key_distinguishes_rule_path_and_message(self):
+        base = finding()
+        assert finding_key(base) != finding_key(finding(rule="RL007"))
+        assert finding_key(base) != finding_key(finding(path="pkg/n.py"))
+        assert finding_key(base) != finding_key(finding(message="other"))
+
+
+class TestFiltering:
+    def test_baselined_findings_are_absorbed(self):
+        baseline = Baseline.from_findings([finding()])
+        assert baseline.filter([finding(line=99)]) == []
+
+    def test_new_findings_pass_through(self):
+        baseline = Baseline.from_findings([finding()])
+        fresh = finding(rule="RL009", message="tainted sink")
+        assert baseline.filter([finding(), fresh]) == [fresh]
+
+    def test_counts_absorb_only_the_recorded_occurrences(self):
+        # Two identical findings recorded; a third instance is new.
+        baseline = Baseline.from_findings([finding(), finding(line=8)])
+        shifted = [finding(line=10), finding(line=20), finding(line=30)]
+        assert baseline.filter(shifted) == [finding(line=30)]
+
+
+class TestRoundTrip:
+    def test_write_then_load_filters_identically(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        findings = [finding(), finding(rule="RL007", message="shared write")]
+        write_baseline(target, findings)
+        loaded = load_baseline(target)
+        assert loaded.filter(findings) == []
+        doc = json.loads(target.read_text(encoding="utf-8"))
+        assert doc["schema_version"] == 1
+        assert all(count == 1 for count in doc["findings"].values())
+
+    def test_written_file_is_deterministic(self, tmp_path):
+        findings = [finding(), finding(rule="RL007", message="shared write")]
+        write_baseline(tmp_path / "a.json", findings)
+        write_baseline(tmp_path / "b.json", list(reversed(findings)))
+        assert (tmp_path / "a.json").read_text() == (
+            tmp_path / "b.json"
+        ).read_text()
+
+
+class TestStrictLoading:
+    def test_missing_file_raises_lint_error(self, tmp_path):
+        with pytest.raises(LintError, match="cannot read baseline"):
+            load_baseline(tmp_path / "absent.json")
+
+    def test_invalid_json_raises_lint_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(LintError, match="not valid JSON"):
+            load_baseline(bad)
+
+    def test_wrong_schema_version_raises_lint_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            json.dumps({"schema_version": 99, "findings": {}}),
+            encoding="utf-8",
+        )
+        with pytest.raises(LintError, match="schema_version"):
+            load_baseline(bad)
+
+    def test_non_positive_counts_raise_lint_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            json.dumps({"schema_version": 1, "findings": {"k": 0}}),
+            encoding="utf-8",
+        )
+        with pytest.raises(LintError, match="positive count"):
+            load_baseline(bad)

@@ -85,6 +85,13 @@ class TestOutputFormats:
         for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005"):
             assert rule_id in out
 
+    def test_list_rules_includes_project_wide_rules(self, capsys):
+        assert cli.main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RL007", "RL008", "RL009"):
+            assert rule_id in out
+        assert "project-wide" in out
+
 
 class TestSelection:
     def test_exclude_glob_skips_files(self, capsys, tmp_path):
@@ -120,3 +127,126 @@ class TestSelection:
         captured = capsys.readouterr()
         assert "dirty.py" in captured.out
         assert "skipme" not in captured.out
+
+
+UNSORTED_SCAN = (
+    "from pathlib import Path\n"
+    "def scan(root):\n"
+    "    return [p for p in Path(root).glob('*.json')]\n"
+)
+
+
+class TestProjectMode:
+    def test_project_adds_flow_findings(self, capsys, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("", encoding="utf-8")
+        (pkg / "m.py").write_text(UNSORTED_SCAN, encoding="utf-8")
+        # Per-file rules alone: clean.
+        assert cli.main([str(pkg), "--no-config"]) == 0
+        capsys.readouterr()
+        # Project mode: the RL008 scan fires.
+        assert cli.main([str(pkg), "--no-config", "--project",
+                         "--no-cache"]) == 1
+        out = capsys.readouterr().out
+        assert "RL008" in out
+        assert "pkg.m.scan" in out
+
+    def test_project_json_format_carries_flow_findings(self, capsys, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("", encoding="utf-8")
+        (pkg / "m.py").write_text(UNSORTED_SCAN, encoding="utf-8")
+        assert cli.main([str(pkg), "--no-config", "--project", "--no-cache",
+                         "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert [f["rule"] for f in doc["findings"]] == ["RL008"]
+
+    def test_rule_selection_partitions_across_families(self, capsys, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("", encoding="utf-8")
+        (pkg / "m.py").write_text(
+            "import random\n" + UNSORTED_SCAN, encoding="utf-8"
+        )
+        # Selecting only the flow rule suppresses the per-file RL001.
+        assert cli.main([str(pkg), "--no-config", "--project", "--no-cache",
+                         "--rule", "RL008"]) == 1
+        out = capsys.readouterr().out
+        assert "RL008" in out and "RL001" not in out
+        # And the reverse.
+        assert cli.main([str(pkg), "--no-config", "--project", "--no-cache",
+                         "--rule", "RL001"]) == 1
+        out = capsys.readouterr().out
+        assert "RL001" in out and "RL008" not in out
+
+    def test_cache_file_is_written_and_reused(self, capsys, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("", encoding="utf-8")
+        (pkg / "m.py").write_text("X = 1\n", encoding="utf-8")
+        cache = tmp_path / "cache.json"
+        assert cli.main([str(pkg), "--no-config", "--project",
+                         "--cache", str(cache)]) == 0
+        capsys.readouterr()
+        assert cache.is_file()
+        doc = json.loads(cache.read_text(encoding="utf-8"))
+        assert len(doc["files"]) == 2
+        # Second run still clean, reusing the cache.
+        assert cli.main([str(pkg), "--no-config", "--project",
+                         "--cache", str(cache)]) == 0
+
+
+class TestBaselines:
+    def _dirty_pkg(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("", encoding="utf-8")
+        (pkg / "m.py").write_text(UNSORTED_SCAN, encoding="utf-8")
+        return pkg
+
+    def test_write_then_check_gates_only_new_findings(self, capsys, tmp_path):
+        pkg = self._dirty_pkg(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert cli.main([str(pkg), "--no-config", "--project", "--no-cache",
+                         "--write-baseline", str(baseline)]) == 0
+        err = capsys.readouterr().err
+        assert "1 finding(s)" in err
+        # Recorded debt no longer fails the run...
+        assert cli.main([str(pkg), "--no-config", "--project", "--no-cache",
+                         "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        # ...but a new finding does.
+        (pkg / "n.py").write_text(
+            "import os\n"
+            "def listing(root):\n"
+            "    return [n for n in os.listdir(root)]\n",
+            encoding="utf-8",
+        )
+        assert cli.main([str(pkg), "--no-config", "--project", "--no-cache",
+                         "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "n.py" in out and "m.py" not in out
+
+    def test_missing_baseline_is_a_one_line_exit_2(self, capsys, tmp_path):
+        pkg = self._dirty_pkg(tmp_path)
+        assert cli.main([str(pkg), "--no-config", "--project", "--no-cache",
+                         "--baseline", str(tmp_path / "absent.json")]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "cannot read baseline" in err
+
+    def test_config_can_point_at_the_baseline(self, capsys, tmp_path):
+        pkg = self._dirty_pkg(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert cli.main([str(pkg), "--no-config", "--project", "--no-cache",
+                         "--write-baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.repro-lint]\n"
+            f'baseline = "{baseline.as_posix()}"\n',
+            encoding="utf-8",
+        )
+        assert cli.main([str(pkg), "--config", str(pyproject), "--project",
+                         "--no-cache"]) == 0

@@ -1,0 +1,292 @@
+"""The flow layer's module table, call graph, and summary cache.
+
+Everything here analyses throwaway package trees on disk *without
+importing them* — the linter's own contract — via the ``make_tree``
+fixture.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.lint.engine import iter_python_files
+from repro.lint.flow import (
+    SummaryCache,
+    build_project,
+    module_name_for,
+    summarize_source,
+)
+
+
+def project_over(root):
+    return build_project(iter_python_files([root]))
+
+
+class TestModuleNaming:
+    def test_names_walk_up_through_packages(self, make_tree):
+        root = make_tree({
+            "pkg/__init__.py": "",
+            "pkg/sub/__init__.py": "",
+            "pkg/sub/mod.py": "X = 1\n",
+        })
+        assert module_name_for(root / "pkg/sub/mod.py") == "pkg.sub.mod"
+        assert module_name_for(root / "pkg/sub/__init__.py") == "pkg.sub"
+
+    def test_scripts_outside_packages_use_their_stem(self, make_tree):
+        root = make_tree({"standalone.py": "X = 1\n"})
+        assert module_name_for(root / "standalone.py") == "standalone"
+
+
+class TestImportResolution:
+    def test_relative_imports_resolve_to_absolute_targets(self, make_tree):
+        root = make_tree({
+            "pkg/__init__.py": "",
+            "pkg/a.py": "def helper():\n    return 1\n",
+            "pkg/sub/__init__.py": "",
+            "pkg/sub/b.py": (
+                "from ..a import helper\n"
+                "from . import c\n"
+                "def caller():\n"
+                "    return helper()\n"
+            ),
+            "pkg/sub/c.py": "Y = 2\n",
+        })
+        project = project_over(root)
+        summary = project.modules["pkg.sub.b"]
+        assert summary.imports["helper"] == "pkg.a.helper"
+        assert summary.imports["c"] == "pkg.sub.c"
+
+    def test_reexport_chasing_through_package_init(self, make_tree):
+        # from pkg import helper, where pkg/__init__ re-exports pkg.a.helper
+        root = make_tree({
+            "pkg/__init__.py": "from .a import helper\n",
+            "pkg/a.py": "def helper():\n    return 1\n",
+            "user.py": (
+                "from pkg import helper\n"
+                "def use():\n"
+                "    return helper()\n"
+            ),
+        })
+        project = project_over(root)
+        assert project.resolve_function("pkg.helper") == "pkg.a.helper"
+        assert project.call_graph()["user.use"] == {"pkg.a.helper"}
+
+
+class TestCallGraph:
+    def test_cross_module_edges_resolve(self, make_tree):
+        root = make_tree({
+            "pkg/__init__.py": "",
+            "pkg/low.py": "def work():\n    return 0\n",
+            "pkg/high.py": (
+                "from .low import work\n"
+                "def drive():\n"
+                "    return work()\n"
+            ),
+        })
+        graph = project_over(root).call_graph()
+        assert graph["pkg.high.drive"] == {"pkg.low.work"}
+
+    def test_method_calls_resolve_through_constructed_type(self, make_tree):
+        root = make_tree({
+            "pkg/__init__.py": "",
+            "pkg/engine.py": (
+                "class Engine:\n"
+                "    def run(self):\n"
+                "        return self.step()\n"
+                "    def step(self):\n"
+                "        return 1\n"
+            ),
+            "pkg/use.py": (
+                "from .engine import Engine\n"
+                "def main():\n"
+                "    e = Engine()\n"
+                "    return e.run()\n"
+            ),
+        })
+        graph = project_over(root).call_graph()
+        assert "pkg.engine.Engine.run" in graph["pkg.use.main"]
+        # self.step() resolves within the enclosing class.
+        assert "pkg.engine.Engine.step" in graph["pkg.engine.Engine.run"]
+
+    def test_inherited_methods_resolve_via_base_classes(self, make_tree):
+        root = make_tree({
+            "pkg/__init__.py": "",
+            "pkg/base.py": (
+                "class Base:\n"
+                "    def shared(self):\n"
+                "        return 1\n"
+            ),
+            "pkg/child.py": (
+                "from .base import Base\n"
+                "class Child(Base):\n"
+                "    pass\n"
+                "def main():\n"
+                "    c = Child()\n"
+                "    return c.shared()\n"
+            ),
+        })
+        project = project_over(root)
+        assert (
+            project.resolve_function("pkg.child.Child.shared")
+            == "pkg.base.Base.shared"
+        )
+        assert "pkg.base.Base.shared" in project.call_graph()["pkg.child.main"]
+
+    def test_reachability_records_a_root_per_function(self, make_tree):
+        root = make_tree({
+            "pkg/__init__.py": "",
+            "pkg/m.py": (
+                "def a():\n    return b()\n"
+                "def b():\n    return c()\n"
+                "def c():\n    return 1\n"
+                "def unrelated():\n    return 2\n"
+            ),
+        })
+        project = project_over(root)
+        origin = project.reachable_from(["pkg.m.a"])
+        assert origin == {
+            "pkg.m.a": "pkg.m.a",
+            "pkg.m.b": "pkg.m.a",
+            "pkg.m.c": "pkg.m.a",
+        }
+
+
+class TestEntryPointDiscovery:
+    def test_workunit_keyword_and_positional_fn(self, make_tree):
+        root = make_tree({
+            "pkg/__init__.py": "",
+            "pkg/units.py": (
+                "from repro.exec.plan import WorkUnit\n"
+                "def kw_unit(x):\n    return x\n"
+                "def pos_unit(x):\n    return x\n"
+                "def build():\n"
+                "    return [\n"
+                "        WorkUnit(index=0, fn=kw_unit, args=(1,)),\n"
+                "        WorkUnit(1, pos_unit, (2,), {}, 'p'),\n"
+                "    ]\n"
+            ),
+        })
+        entries = project_over(root).entry_points()
+        assert set(entries) == {"pkg.units.kw_unit", "pkg.units.pos_unit"}
+
+    def test_enumerate_and_marker_registration(self, make_tree):
+        root = make_tree({
+            "pkg/__init__.py": "",
+            "pkg/units.py": (
+                "from repro.exec import ShardPlan, shard_unit\n"
+                "def grid_point(x):\n    return x\n"
+                "@shard_unit\n"
+                "def marked(x):\n    return x\n"
+                "def build():\n"
+                "    return ShardPlan.enumerate(grid_point, [(1,), (2,)])\n"
+            ),
+        })
+        entries = project_over(root).entry_points()
+        assert set(entries) == {"pkg.units.grid_point", "pkg.units.marked"}
+
+
+class TestParseErrors:
+    def test_broken_files_degrade_to_empty_summaries(self, make_tree):
+        root = make_tree({
+            "pkg/__init__.py": "",
+            "pkg/broken.py": "def nope(:\n",
+            "pkg/fine.py": "def ok():\n    return 1\n",
+        })
+        project = project_over(root)
+        assert project.modules["pkg.broken"].parse_error
+        assert not project.modules["pkg.broken"].functions
+        assert "pkg.fine.ok" in project.functions
+
+
+class TestSummaryCache:
+    def test_round_trip_preserves_the_summary(self, make_tree, tmp_path):
+        root = make_tree({
+            "pkg/__init__.py": "",
+            "pkg/m.py": (
+                "from repro.exec.plan import shard_unit\n"
+                "STATE = {}\n"
+                "@shard_unit\n"
+                "def unit(x):\n"
+                "    STATE[x] = x\n"
+                "    for item in {1, 2}:\n"
+                "        x += item\n"
+                "    return x\n"
+            ),
+        })
+        target = root / "pkg/m.py"
+        cold = SummaryCache(tmp_path / "c.json")
+        fresh = cold.summarize(target)
+        cold.save()
+        warm = SummaryCache(tmp_path / "c.json")
+        cached = warm.summarize(target)
+        assert warm.hits == 1 and warm.misses == 0
+        assert cached.to_dict() == fresh.to_dict()
+        # Everything the rules consume survives the round trip.
+        assert cached.shard_entries == ["pkg.m.unit"]
+        assert cached.functions["unit"].writes[0].target == "pkg.m.STATE"
+        assert cached.functions["unit"].iters[0].kind == "set"
+
+    def test_edit_invalidates_touch_does_not(self, make_tree, tmp_path):
+        root = make_tree({"pkg/__init__.py": "", "pkg/m.py": "X = 1\n"})
+        target = root / "pkg/m.py"
+        cache_file = tmp_path / "c.json"
+        first = SummaryCache(cache_file)
+        first.summarize(target)
+        first.save()
+
+        # mtime bump, identical content: re-validated by hash, a hit.
+        stat = target.stat()
+        os.utime(target, ns=(stat.st_atime_ns, stat.st_mtime_ns + 10_000_000))
+        touched = SummaryCache(cache_file)
+        touched.summarize(target)
+        assert (touched.hits, touched.misses) == (1, 0)
+        touched.save()
+
+        # Content change: a miss, and the new summary is returned.
+        target.write_text("def fresh():\n    return 2\n", encoding="utf-8")
+        edited = SummaryCache(cache_file)
+        summary = edited.summarize(target)
+        assert (edited.hits, edited.misses) == (0, 1)
+        assert "fresh" in summary.functions
+
+    def test_corrupt_cache_degrades_to_cold_start(self, make_tree, tmp_path):
+        root = make_tree({"pkg/__init__.py": "", "pkg/m.py": "X = 1\n"})
+        cache_file = tmp_path / "c.json"
+        cache_file.write_text("{not json", encoding="utf-8")
+        cache = SummaryCache(cache_file)
+        cache.summarize(root / "pkg/m.py")
+        assert (cache.hits, cache.misses) == (0, 1)
+
+    def test_schema_version_mismatch_discards_entries(
+        self, make_tree, tmp_path
+    ):
+        root = make_tree({"pkg/__init__.py": "", "pkg/m.py": "X = 1\n"})
+        target = root / "pkg/m.py"
+        cache_file = tmp_path / "c.json"
+        warm = SummaryCache(cache_file)
+        warm.summarize(target)
+        warm.save()
+        doc = json.loads(cache_file.read_text(encoding="utf-8"))
+        doc["summary_version"] = -1
+        cache_file.write_text(json.dumps(doc), encoding="utf-8")
+        stale = SummaryCache(cache_file)
+        stale.summarize(target)
+        assert (stale.hits, stale.misses) == (0, 1)
+
+
+class TestSummarizeSource:
+    def test_suppressions_ride_along_in_the_summary(self):
+        source = (
+            "import os\n"
+            "def f(root):\n"
+            "    return list(os.listdir(root))  # repro-lint: ignore[RL008]\n"
+        )
+        summary = summarize_source(source, "m.py", "m")
+        assert summary.suppression_map() == {3: frozenset({"RL008"})}
+
+    def test_module_body_gets_a_pseudo_function(self):
+        summary = summarize_source(
+            "VALUES = [x for x in {1, 2, 3}]\n", "m.py", "m"
+        )
+        body = summary.functions["<module>"]
+        assert [event.kind for event in body.iters] == ["set"]

@@ -17,5 +17,15 @@ class TestQuickSuite:
     def test_suite_covers_every_trajectory_rate(self):
         rate_keys = {w.rate_key for w in QUICK_WORKLOADS}
         assert rate_keys == {
-            "cells_decayed_per_s", "attempts_per_s", "units_per_s"
+            "cells_decayed_per_s", "attempts_per_s", "units_per_s",
+            "files_per_s",
         }
+
+    def test_lint_project_workload_counts_the_package_files(self):
+        from repro.perf.workloads import _lint_project
+
+        files = _lint_project(seed=13)
+        # The repro package itself: comfortably past the seed's size,
+        # and seed-independent by construction.
+        assert files >= 100.0
+        assert _lint_project(seed=14) == files
