@@ -2,6 +2,10 @@
 
 This package models the physics the Volt Boot paper exploits:
 
+* :mod:`~repro.circuits.engine` — the cell-physics engine: vectorized
+  numpy bulk kernels (default) plus a bit-identical per-cell scalar
+  reference selected by ``REPRO_SCALAR_PHYSICS=1`` (see
+  ``docs/physics.md``).
 * :mod:`~repro.circuits.leakage` — Arrhenius charge-decay models for SRAM
   and DRAM cells, calibrated against the remanence literature the paper
   cites.
@@ -19,6 +23,14 @@ This package models the physics the Volt Boot paper exploits:
   graph (rails, pins, test pads) the attacker walks to find probe points.
 """
 
+from .engine import (
+    SCALAR_ENV,
+    ScalarEngine,
+    VectorEngine,
+    active_engine,
+    engine_name,
+    forced_engine,
+)
 from .leakage import ArrheniusDecay, DRAM_DECAY, SRAM_DECAY
 from .sram import SramArray, SramParameters
 from .dram import DramArray, DramParameters
@@ -29,6 +41,12 @@ from .waveform import RailWaveform, disconnect_waveform
 from .pdn import NetKind, PdnNet, PowerDeliveryNetwork, TestPad
 
 __all__ = [
+    "SCALAR_ENV",
+    "ScalarEngine",
+    "VectorEngine",
+    "active_engine",
+    "engine_name",
+    "forced_engine",
     "ArrheniusDecay",
     "SRAM_DECAY",
     "DRAM_DECAY",

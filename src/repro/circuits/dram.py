@@ -28,6 +28,7 @@ from ..obs import OBS
 from ..obs.timing import observe_rate, wall_clock
 from ..rng import from_entropy
 from ..units import ROOM_TEMPERATURE_K, milliseconds
+from .engine import active_engine
 from .leakage import ArrheniusDecay, DRAM_DECAY
 
 
@@ -84,13 +85,18 @@ class DramArray:
         self.params = params or DramParameters()
         self._rng = rng if rng is not None else from_entropy(0)
         self._n_bits = int(n_bits)
-        self._anticell = self._rng.random(self._n_bits) < self.params.anticell_fraction
+        engine = active_engine()
+        self._anticell = engine.uniform_mask(
+            self._rng, self._n_bits, self.params.anticell_fraction
+        )
         # Per-cell retention multiplier (lognormal around 1.0); float16
         # keeps megabyte-scale modules affordable.
-        self._retention_scale = np.exp(
-            self._rng.standard_normal(self._n_bits, dtype=np.float32)
-            * self.params.retention_spread
-        ).astype(np.float16)
+        self._retention_scale = engine.lognormal_field(
+            self._rng, self._n_bits, self.params.retention_spread
+        )
+        # float32 widening of the retention field, cached because every
+        # decay step divides by it; the field is fixed at manufacture.
+        self._scale32 = self._retention_scale.astype(np.float32)
         # Modules start fully discharged (factory-fresh, unpowered).
         self._bits = self._ground_state()
         self._level = np.zeros(self._n_bits, dtype=np.float16)
@@ -127,13 +133,23 @@ class DramArray:
     def elapse_unpowered(
         self, seconds: float, temperature_k: float = ROOM_TEMPERATURE_K
     ) -> None:
-        """Decay cell charge for ``seconds`` at ``temperature_k``."""
+        """Decay cell charge for ``seconds`` at ``temperature_k``.
+
+        Parameters
+        ----------
+        seconds:
+            Unpowered (refresh-less) interval in seconds.
+        temperature_k:
+            Module temperature in kelvin; sets the Arrhenius time
+            constant ``tau(T)``.  Chilled modules decay orders of
+            magnitude slower — the knob the cold boot attack turns.
+        """
         if self._powered:
             raise CircuitError(f"{self.name}: refresh is active; nothing decays")
         tau = self.params.decay.time_constant(temperature_k)
-        scale = self._retention_scale.astype(np.float32)
-        factor = np.exp(np.float32(-seconds) / (np.float32(tau) * scale))
-        self._level = (self._level.astype(np.float32) * factor).astype(np.float16)
+        self._level = active_engine().charge_decay(
+            self._level, seconds, tau, self._scale32
+        )
         if OBS.enabled:
             OBS.gauge_set("dram.tau_s", tau, array=self.name)
 
@@ -142,8 +158,12 @@ class DramArray:
 
         ``voltage`` is accepted for :class:`~repro.power.domain.PowerLoad`
         compatibility; DRAM retention is refresh-driven, not
-        supply-level-driven, so the value is ignored.  Returns the
-        fraction of cells still holding their written value.
+        supply-level-driven, so the value is ignored.
+
+        Returns
+        -------
+        float
+            Fraction of cells still holding their written value.
         """
         if self._powered:
             raise CircuitError(f"{self.name}: already powered")
@@ -151,10 +171,13 @@ class DramArray:
         # "perf." gauge is stripped from manifest fingerprints; the
         # disabled path reads no clock.
         start = wall_clock() if OBS.enabled else 0.0
-        retained = self._level > 0.5
+        engine = active_engine()
+        retained = engine.charge_mask(self._level)
         ground = self._ground_state()
-        self._bits = np.where(retained, self._bits, ground)
-        self._level = np.ones(self._n_bits, dtype=np.float64)
+        self._bits = engine.select(retained, self._bits, ground)
+        # Refresh recharges every cell; 1.0 is exact at float16, so the
+        # narrower fill is value-identical to the old float64 one.
+        self._level = np.ones(self._n_bits, dtype=np.float16)
         self._powered = True
         fraction = float(np.mean(retained))
         if OBS.enabled:

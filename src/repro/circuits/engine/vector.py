@@ -1,0 +1,372 @@
+"""Vectorized numpy cell-physics kernels (the default engine).
+
+Each method is one bulk kernel over a whole array of cells; together
+they carry every per-cell physical process in :mod:`repro.circuits`.
+The equations each kernel implements, with symbol definitions and the
+paper sections they reproduce, are documented equation-by-equation in
+``docs/physics.md`` — the generated table there links back to these
+functions by file and line.
+
+Numeric contract: every mixed-precision operation is written with
+explicit casts (``np.float32(...)``, ``np.float16(...)``) matching
+NumPy's value-based promotion of Python scalars against low-precision
+arrays, so the per-cell reference implementation
+(:mod:`repro.circuits.engine.scalar`) can reproduce each kernel bit
+for bit.  Cell state is stored in ``float16`` — sub-millivolt
+resolution, far below any physical effect modelled here — and widened
+to ``float32`` only inside a kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class VectorEngine:
+    """Bulk numpy implementation of the cell-physics kernels."""
+
+    #: Engine name recorded in BENCH host metadata.
+    name = "vector"
+
+    # ------------------------------------------------------------------
+    # Manufacture-time sampling (process variation)
+    # ------------------------------------------------------------------
+
+    def gaussian_field(
+        self,
+        rng: np.random.Generator,
+        n: int,
+        mean: float,
+        sigma: float,
+        floor: float,
+    ) -> np.ndarray:
+        """Sample a per-cell Gaussian parameter field, clipped below.
+
+        Implements ``X_i = max(mu + sigma * Z_i, floor)`` with
+        ``Z_i ~ N(0, 1)`` — the DRV and restore-threshold distributions
+        of :class:`~repro.circuits.sram.SramParameters`.
+
+        Parameters
+        ----------
+        rng:
+            Source stream; consumes one ``standard_normal(n, float32)``
+            bulk draw.
+        n:
+            Number of cells.
+        mean, sigma:
+            Distribution location and scale, in volts.
+        floor:
+            Hard lower clip, in volts (no cell parameter is zero or
+            negative).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``float16[n]`` field.
+        """
+        z = rng.standard_normal(n, dtype=np.float32)
+        field = z * np.float32(sigma) + np.float32(mean)
+        return field.clip(min=np.float32(floor)).astype(np.float16)
+
+    def lognormal_field(
+        self, rng: np.random.Generator, n: int, spread: float
+    ) -> np.ndarray:
+        """Sample the per-cell lognormal retention multiplier.
+
+        Implements ``s_i = exp(spread * Z_i)`` — the DRAM retention
+        spread of :class:`~repro.circuits.dram.DramParameters` (median
+        1.0; a small left tail of leaky, early-failing cells).
+
+        Consumes one ``standard_normal(n, float32)`` draw from ``rng``;
+        returns a ``float16[n]`` field.
+        """
+        z = rng.standard_normal(n, dtype=np.float32)
+        return np.exp(z * np.float32(spread)).astype(np.float16)
+
+    def wake_field(
+        self,
+        rng: np.random.Generator,
+        n: int,
+        noisy_fraction: float,
+        epsilon: float,
+    ) -> np.ndarray:
+        """Sample per-cell power-up-as-1 probabilities.
+
+        Implements the paper's power-up fingerprint model (§2.1): a
+        fraction ``noisy_fraction`` of cells is metastable
+        (``p_i = 0.5``); the rest are strongly skewed to
+        ``p_i = epsilon`` or ``p_i = 1 - epsilon`` with equal
+        probability, fixed by transistor mismatch at manufacture.
+
+        Parameters
+        ----------
+        rng:
+            Source stream; consumes ``integers(0, 2, n)`` (skew
+            direction) then ``random(n)`` (metastable selection), in
+            that order.
+        n:
+            Number of cells.
+        noisy_fraction:
+            Fraction of metastable cells, in ``[0, 1]``.
+        epsilon:
+            Residual flip probability of a strongly-skewed cell.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``float16[n]`` wake probabilities.
+        """
+        skewed = np.where(
+            rng.integers(0, 2, n, dtype=np.uint8) == 1,
+            np.float32(1.0 - epsilon),
+            np.float32(epsilon),
+        )
+        noisy = rng.random(n) < noisy_fraction
+        return np.where(noisy, np.float32(0.5), skewed).astype(np.float16)
+
+    def uniform_mask(
+        self, rng: np.random.Generator, n: int, fraction: float
+    ) -> np.ndarray:
+        """Mark each cell independently with probability ``fraction``.
+
+        The DRAM anti-cell assignment (a logical 1 stored as an empty
+        capacitor).  Consumes one ``random(n)`` (float64) draw; returns
+        a ``bool[n]`` mask.
+        """
+        return rng.random(n) < fraction
+
+    # ------------------------------------------------------------------
+    # Power-up fingerprint
+    # ------------------------------------------------------------------
+
+    def powerup(
+        self, rng: np.random.Generator, wake_p32: np.ndarray
+    ) -> np.ndarray:
+        """Sample one power-up image from the wake-probability field.
+
+        Implements ``b_i = [U_i < p_i]`` with ``U_i ~ U[0, 1)`` — each
+        cold power-up settles skewed cells into their preferred state
+        and flips a fresh coin for the metastable ones, which is what
+        bounds two power-ups of the same array at a small but non-zero
+        fractional Hamming distance (paper Table 1, ~0.10).
+
+        Parameters
+        ----------
+        rng:
+            Source stream; consumes one ``random(n, float32)`` draw.
+        wake_p32:
+            ``float32[n]`` wake probabilities (the stored ``float16``
+            field widened losslessly — callers cache this view).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``uint8[n]`` 0/1 bit image.
+        """
+        draws = rng.random(len(wake_p32), dtype=np.float32)
+        return (draws < wake_p32).astype(np.uint8)
+
+    # ------------------------------------------------------------------
+    # Retention thresholds (which cells survive)
+    # ------------------------------------------------------------------
+
+    def restore_mask(
+        self, node_v: float, thresholds: np.ndarray
+    ) -> np.ndarray:
+        """Cells whose decayed node voltage still recovers their state.
+
+        Implements ``r_i = [V_node(t) > V_restore,i]``: on power
+        restore after an unpowered interval, a cell recovers its old
+        value iff its storage node sits above the cell's restore
+        threshold (paper §3 / cold-boot regime).
+
+        Parameters
+        ----------
+        node_v:
+            The decayed node voltage ``V0 * exp(-t / tau(T))``, volts.
+            Compared at ``float16`` precision, matching the stored
+            threshold field.
+        thresholds:
+            ``float16[n]`` per-cell restore thresholds.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``bool[n]`` retained mask.
+        """
+        return np.float16(node_v) > thresholds
+
+    def drv_collapse_mask(
+        self, drv: np.ndarray, supply_v: float
+    ) -> np.ndarray:
+        """Cells whose DRV the (sagged) supply undercuts.
+
+        Implements ``c_i = [DRV_i > V_supply]`` — the Volt Boot core
+        mechanism (paper §2.1): a powered cell keeps state only while
+        its supply exceeds the cell's data retention voltage.
+
+        ``drv`` is the ``float16[n]`` DRV field; ``supply_v`` is the
+        applied voltage in volts (compared at ``float16`` precision).
+        Returns a ``bool[n]`` collapse mask.
+        """
+        return drv > np.float16(supply_v)
+
+    def charge_mask(self, level: np.ndarray) -> np.ndarray:
+        """DRAM cells whose remaining charge still reads correctly.
+
+        Implements ``r_i = [L_i > 1/2]``: the sense amplifier resolves
+        a cell against the half-charge reference, so a decayed-below-
+        half cell reads as its ground state (paper §3's cold-boot
+        substrate).  ``level`` is the ``float16[n]`` normalised charge;
+        returns a ``bool[n]`` retained mask.
+        """
+        return level > np.float16(0.5)
+
+    # ------------------------------------------------------------------
+    # Charge decay
+    # ------------------------------------------------------------------
+
+    def charge_decay(
+        self,
+        level: np.ndarray,
+        seconds: float,
+        tau_s: float,
+        scale32: np.ndarray,
+    ) -> np.ndarray:
+        """Decay per-cell DRAM charge for one unpowered interval.
+
+        Implements ``L_i(t + dt) = L_i(t) * exp(-dt / (tau(T) * s_i))``
+        — Arrhenius capacitor leakage with the per-cell lognormal
+        retention multiplier ``s_i`` (:func:`lognormal_field`).  The
+        ``tau(T) = A * exp(B / T)`` temperature dependence lives in
+        :class:`~repro.circuits.leakage.ArrheniusDecay`; this kernel
+        receives the evaluated ``tau_s``.
+
+        Parameters
+        ----------
+        level:
+            ``float16[n]`` normalised charge in ``[0, 1]``.
+        seconds:
+            Unpowered interval ``dt``, seconds.
+        tau_s:
+            Technology time constant at the soak temperature, seconds.
+        scale32:
+            ``float32[n]`` per-cell retention multipliers (the stored
+            ``float16`` field widened losslessly — callers cache this
+            view so repeated decay steps allocate no conversions).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``float16[n]`` decayed charge.
+        """
+        factor = np.exp(np.float32(-seconds) / (np.float32(tau_s) * scale32))
+        return (level.astype(np.float32) * factor).astype(np.float16)
+
+    # ------------------------------------------------------------------
+    # Selection and aging
+    # ------------------------------------------------------------------
+
+    def select(
+        self, mask: np.ndarray, when_true: np.ndarray, when_false: np.ndarray
+    ) -> np.ndarray:
+        """Per-cell two-way select: ``out_i = t_i if m_i else f_i``.
+
+        The composition step of every decay event: retained cells keep
+        their bits, the rest take the power-up fingerprint (SRAM) or
+        ground state (DRAM).  All arrays are length ``n``; returns a
+        fresh ``uint8[n]`` image.
+        """
+        return np.where(mask, when_true, when_false)
+
+    def age_wake(
+        self,
+        wake_p: np.ndarray,
+        bits: np.ndarray,
+        shift: float,
+        lo: float,
+        hi: float,
+    ) -> np.ndarray:
+        """Imprint held data into the wake-probability field (NBTI).
+
+        Implements ``p_i' = clip(p_i + (2 b_i - 1) * shift, lo, hi)`` —
+        bias temperature instability drags a cell's power-up preference
+        toward the value it holds (paper §9.2's decade-scale
+        data-imprinting attacks).
+
+        Parameters
+        ----------
+        wake_p:
+            ``float16[n]`` wake probabilities.
+        bits:
+            ``uint8[n]`` currently-held image.
+        shift:
+            Probability shift for this aging interval (already scaled
+            by years and duty cycle; ``float32`` precision).
+        lo, hi:
+            Clip bounds keeping every cell minimally bistable.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``float16[n]`` aged wake probabilities.
+        """
+        direction = bits.astype(np.float32) * np.float32(2.0) - np.float32(1.0)
+        aged = wake_p.astype(np.float32) + direction * np.float32(shift)
+        return aged.clip(np.float32(lo), np.float32(hi)).astype(np.float16)
+
+    # ------------------------------------------------------------------
+    # Debug-read errors and majority voting
+    # ------------------------------------------------------------------
+
+    def flip_mask(
+        self, rng: np.random.Generator, n_bytes: int, rate: float
+    ) -> tuple[np.ndarray, int]:
+        """Sample a packed per-bit read-error mask.
+
+        Implements ``f_j = [U_j < rate]`` over ``8 * n_bytes`` bits —
+        the i.i.d. Bernoulli error model of imperfect JTAG/CP15 dumps
+        (:class:`~repro.soc.readnoise.BitErrorModel`).
+
+        Parameters
+        ----------
+        rng:
+            Source stream; consumes one ``random(8 * n_bytes)``
+            (float64) draw regardless of how many bits flip.
+        n_bytes:
+            Read length in bytes.
+        rate:
+            Per-bit flip probability, in ``[0, 0.5)``.
+
+        Returns
+        -------
+        tuple[numpy.ndarray, int]
+            ``(mask, flipped)``: a ``uint8[n_bytes]`` XOR mask with
+            bits packed little-endian within each byte, and the number
+            of set bits.
+        """
+        flips = rng.random(n_bytes * 8) < rate
+        flipped = int(np.count_nonzero(flips))
+        mask = np.packbits(flips, bitorder="little").astype(np.uint8)
+        return mask, flipped
+
+    def vote_counts(self, reads: list[bytes], length: int) -> np.ndarray:
+        """Per-bit ones count across ``k`` equal-length reads.
+
+        The counting core of majority-vote decoding
+        (:func:`repro.resilience.vote.majority_vote`): for each bit
+        position ``j`` of the ``8 * length``-bit image, how many of the
+        ``k`` reads saw a 1.  The caller derives the majority image
+        (``2 * ones_j > k``) and the per-bit vote margin from the
+        counts.
+
+        Bits are unpacked little-endian within each byte, matching the
+        array accessors' byte order.  Returns ``int64[8 * length]``.
+        """
+        k = len(reads)
+        stacked = np.empty((k, length * 8), dtype=np.uint8)
+        for row, read in enumerate(reads):
+            stacked[row] = np.unpackbits(
+                np.frombuffer(read, dtype=np.uint8), bitorder="little"
+            )
+        return stacked.sum(axis=0, dtype=np.int64)

@@ -59,7 +59,18 @@ class ArrheniusDecay:
             raise CalibrationError("activation temperature must be positive")
 
     def time_constant(self, temperature_k: float) -> float:
-        """Decay time constant tau(T) in seconds at ``temperature_k``."""
+        """Decay time constant ``tau(T) = A * exp(B / T)``.
+
+        Parameters
+        ----------
+        temperature_k:
+            Absolute temperature in kelvin (> 0).
+
+        Returns
+        -------
+        float
+            ``tau`` in seconds.
+        """
         if temperature_k <= 0.0:
             raise CalibrationError("absolute temperature must be > 0 K")
         return self.prefactor_s * float(np.exp(self.activation_k / temperature_k))
@@ -69,7 +80,20 @@ class ArrheniusDecay:
         return self.time_constant(celsius_to_kelvin(celsius))
 
     def surviving_fraction(self, off_time_s: float, temperature_k: float) -> float:
-        """Fraction ``V(t)/V0`` remaining after ``off_time_s`` seconds."""
+        """Fraction ``V(t)/V0 = exp(-t / tau(T))`` remaining after ``t``.
+
+        Parameters
+        ----------
+        off_time_s:
+            Unpowered interval ``t`` in seconds (>= 0).
+        temperature_k:
+            Soak temperature in kelvin.
+
+        Returns
+        -------
+        float
+            The surviving node-voltage fraction in ``(0, 1]``.
+        """
         if off_time_s < 0.0:
             raise CalibrationError("off time cannot be negative")
         tau = self.time_constant(temperature_k)
@@ -81,7 +105,20 @@ class ArrheniusDecay:
         off_time_s: float,
         temperature_k: float,
     ) -> np.ndarray:
-        """Vectorised node-voltage decay for an array of initial voltages."""
+        """Vectorised node-voltage decay for an array of initial voltages.
+
+        Parameters
+        ----------
+        initial_v:
+            Initial voltages ``V0`` in volts (scalar or array).
+        off_time_s, temperature_k:
+            As for :meth:`surviving_fraction`.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``float64`` decayed voltages ``V0 * exp(-t / tau(T))``.
+        """
         fraction = self.surviving_fraction(off_time_s, temperature_k)
         return np.asarray(initial_v, dtype=np.float64) * fraction
 

@@ -40,6 +40,7 @@ from ..obs import OBS
 from ..obs.timing import observe_rate, wall_clock
 from ..rng import from_entropy
 from ..units import ROOM_TEMPERATURE_K, millivolts
+from .engine import active_engine
 from .leakage import ArrheniusDecay, SRAM_DECAY
 
 
@@ -128,30 +129,36 @@ class SramArray:
         # Process variation, fixed at manufacture time.  Stored as float16
         # to keep megabyte-scale macros affordable; sub-millivolt
         # resolution is far below any physical effect modelled here.
-        self._drv = (
-            self._rng.standard_normal(self._n_bits, dtype=np.float32)
-            * self.params.drv_sigma_v
-            + self.params.drv_mean_v
-        ).clip(min=0.01).astype(np.float16)
-        self._restore_threshold = (
-            self._rng.standard_normal(self._n_bits, dtype=np.float32)
-            * self.params.restore_sigma_v
-            + self.params.restore_mean_v
-        ).clip(min=0.005).astype(np.float16)
+        engine = active_engine()
+        self._drv = engine.gaussian_field(
+            self._rng,
+            self._n_bits,
+            self.params.drv_mean_v,
+            self.params.drv_sigma_v,
+            0.01,
+        )
+        self._restore_threshold = engine.gaussian_field(
+            self._rng,
+            self._n_bits,
+            self.params.restore_mean_v,
+            self.params.restore_sigma_v,
+            0.005,
+        )
         # Per-cell wake probability: the chance a cell powers up as 1.
         # Strongly-skewed cells sit near 0 or 1 (the stable PUF bits);
         # metastable cells sit near 0.5 and flip coin-like on every
         # power-up.  Aging (NBTI imprinting) later shifts these values
         # toward whatever the cell spent its life holding (paper §9.2).
-        skewed_wake = np.where(
-            self._rng.integers(0, 2, self._n_bits, dtype=np.uint8) == 1,
-            np.float32(1.0 - self.WAKE_SKEW_EPSILON),
-            np.float32(self.WAKE_SKEW_EPSILON),
+        self._wake_p = engine.wake_field(
+            self._rng,
+            self._n_bits,
+            self.params.noisy_fraction,
+            self.WAKE_SKEW_EPSILON,
         )
-        noisy = self._rng.random(self._n_bits) < self.params.noisy_fraction
-        self._wake_p = np.where(
-            noisy, np.float32(0.5), skewed_wake
-        ).astype(np.float16)
+        # float32 widening of the wake field, cached because every
+        # power-up compares against it; refreshed whenever aging moves
+        # the probabilities.
+        self._wake32 = self._wake_p.astype(np.float32)
 
         # Electrical state.
         self._bits = np.zeros(self._n_bits, dtype=np.uint8)
@@ -185,19 +192,51 @@ class SramArray:
         return self._supply_v if self._powered else 0.0
 
     def drv_percentile(self, percentile: float) -> float:
-        """Per-cell DRV percentile — used by probe-planning heuristics."""
+        """Per-cell DRV percentile — used by probe-planning heuristics.
+
+        Parameters
+        ----------
+        percentile:
+            Percentile in ``[0, 100]``.
+
+        Returns
+        -------
+        float
+            The DRV value (volts) at that percentile of the array's
+            manufacture-time distribution.
+        """
         return float(np.percentile(self._drv, percentile))
 
     def cell_drv(self) -> np.ndarray:
-        """Copy of the per-cell data retention voltages (volts)."""
+        """Copy of the per-cell data retention voltages.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``float32[n_bits]`` DRVs in volts (the stored ``float16``
+            field widened losslessly).
+        """
         return self._drv.astype(np.float32)
 
     def wake_probabilities(self) -> np.ndarray:
-        """Copy of the per-cell power-up-as-1 probabilities."""
+        """Copy of the per-cell power-up-as-1 probabilities.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``float32[n_bits]`` probabilities in ``[0, 1]``.
+        """
         return self._wake_p.astype(np.float32)
 
     def noisy_cell_mask(self) -> np.ndarray:
-        """Cells whose power-up state is effectively a coin flip."""
+        """Cells whose power-up state is effectively a coin flip.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``bool[n_bits]`` mask of metastable cells (wake probability
+            inside ``(0.2, 0.8)``).
+        """
         wake = self._wake_p.astype(np.float32)
         return (wake > 0.2) & (wake < 0.8)
 
@@ -211,18 +250,34 @@ class SramArray:
         Bias temperature instability slowly shifts a cell's power-up
         preference toward the value it spends its life holding — the
         physical basis of the decade-scale data-imprinting attacks the
-        paper contrasts itself against (§9.2).  ``duty_cycle`` is the
-        fraction of the period the data was actually resident.
+        paper contrasts itself against (§9.2).
+
+        Parameters
+        ----------
+        years:
+            Imprinting duration in years; must be non-negative.
+        duty_cycle:
+            Fraction of the period the data was actually resident, in
+            ``[0, 1]``.
+
+        Raises
+        ------
+        CalibrationError
+            If ``years`` is negative or ``duty_cycle`` leaves ``[0, 1]``.
+        CircuitError
+            If the array is unpowered (nothing is imprinting).
         """
         if years < 0.0 or not 0.0 <= duty_cycle <= 1.0:
             raise CalibrationError("aging needs years >= 0, duty in [0, 1]")
         self._require_powered("age")
-        shift = np.float32(self.AGING_SHIFT_PER_YEAR * years * duty_cycle)
-        direction = self._bits.astype(np.float32) * 2.0 - 1.0
-        aged = self._wake_p.astype(np.float32) + direction * shift
-        self._wake_p = aged.clip(
-            self.WAKE_SKEW_EPSILON / 2, 1.0 - self.WAKE_SKEW_EPSILON / 2
-        ).astype(np.float16)
+        self._wake_p = active_engine().age_wake(
+            self._wake_p,
+            self._bits,
+            self.AGING_SHIFT_PER_YEAR * years * duty_cycle,
+            self.WAKE_SKEW_EPSILON / 2,
+            1.0 - self.WAKE_SKEW_EPSILON / 2,
+        )
+        self._wake32 = self._wake_p.astype(np.float32)
 
     # ------------------------------------------------------------------
     # Power state machine
@@ -233,6 +288,13 @@ class SramArray:
 
         All cells settle into their power-up fingerprint: skewed cells take
         their preferred value, metastable cells flip a fresh coin.
+
+        Parameters
+        ----------
+        voltage:
+            Supply voltage in volts; ``None`` applies the nominal
+            supply.  Consumes one bulk power-up draw from the array's
+            stream (see :meth:`repro.circuits.engine.vector.VectorEngine.powerup`).
         """
         self._require_voltage(voltage)
         self._bits = self._sample_powerup()
@@ -256,6 +318,14 @@ class SramArray:
 
         May be called repeatedly with different temperatures; decay
         fractions compose multiplicatively.
+
+        Parameters
+        ----------
+        seconds:
+            Unpowered interval in seconds.
+        temperature_k:
+            Soak temperature in kelvin; sets the Arrhenius time
+            constant ``tau(T)`` (:class:`~repro.circuits.leakage.ArrheniusDecay`).
         """
         if self._powered:
             raise CircuitError(f"{self.name}: array is powered; nothing decays")
@@ -274,8 +344,20 @@ class SramArray:
 
         Cells whose decayed node voltage still exceeds their restore
         threshold recover their previous state; the rest settle into the
-        power-up fingerprint.  Returns the fraction of cells that
-        retained their data — the quantity every remanence study reports.
+        power-up fingerprint.
+
+        Parameters
+        ----------
+        voltage:
+            Restored supply voltage in volts; ``None`` applies the
+            nominal supply.  Restoring below some cells' DRV collapses
+            those cells immediately as well.
+
+        Returns
+        -------
+        float
+            Fraction of cells that retained their data — the quantity
+            every remanence study reports.
         """
         if self._powered:
             raise CircuitError(f"{self.name}: already powered")
@@ -284,10 +366,11 @@ class SramArray:
         # "perf." gauge is stripped from manifest fingerprints; the
         # disabled path reads no clock.
         start = wall_clock() if OBS.enabled else 0.0
+        engine = active_engine()
         node_v = self._off_supply_v * self._unpowered_fraction
-        retained = node_v > self._restore_threshold
+        retained = engine.restore_mask(node_v, self._restore_threshold)
         fresh = self._sample_powerup()
-        self._bits = np.where(retained, self._bits, fresh)
+        self._bits = engine.select(retained, self._bits, fresh)
         self._powered = True
         self._supply_v = self.params.nominal_v if voltage is None else voltage
         self._unpowered_fraction = 1.0
@@ -314,7 +397,17 @@ class SramArray:
         """Adjust the supply while powered (DVFS, or an attacker's probe).
 
         Cells whose DRV exceeds the new voltage collapse to their power-up
-        preference.  Returns the number of cells lost.
+        preference.
+
+        Parameters
+        ----------
+        voltage:
+            New supply voltage in volts; must be positive.
+
+        Returns
+        -------
+        int
+            Number of cells lost to the move.
         """
         if not self._powered:
             raise CircuitError(f"{self.name}: cannot set voltage while unpowered")
@@ -378,15 +471,15 @@ class SramArray:
     # ------------------------------------------------------------------
 
     def _sample_powerup(self) -> np.ndarray:
-        draws = self._rng.random(self._n_bits, dtype=np.float32)
-        return (draws < self._wake_p).astype(np.uint8)
+        return active_engine().powerup(self._rng, self._wake32)
 
     def _collapse_below(self, voltage: float) -> int:
-        lost = self._drv > voltage
+        engine = active_engine()
+        lost = engine.drv_collapse_mask(self._drv, voltage)
         if not lost.any():
             return 0
         fresh = self._sample_powerup()
-        self._bits = np.where(lost, fresh, self._bits)
+        self._bits = engine.select(lost, fresh, self._bits)
         count = int(lost.sum())
         if OBS.enabled:
             OBS.counter_inc("sram.cells_below_drv", count, array=self.name)

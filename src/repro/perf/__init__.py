@@ -44,10 +44,12 @@ from .bench import (
 )
 from .compare import (
     DEFAULT_THRESHOLD,
+    PRE_ENGINE_LABEL,
     Comparison,
     ComparisonRow,
     TrendReport,
     compare,
+    document_engine,
     render_comparison,
     render_trend,
     trend,
@@ -68,6 +70,7 @@ __all__ = [
     "Comparison",
     "ComparisonRow",
     "DEFAULT_THRESHOLD",
+    "PRE_ENGINE_LABEL",
     "PerfError",
     "ProgressReport",
     "QUICK_WORKLOADS",
@@ -77,6 +80,7 @@ __all__ = [
     "collect_sidecars",
     "compare",
     "cpu_count",
+    "document_engine",
     "entry_from_sidecar",
     "find_journals",
     "host_metadata",

@@ -31,12 +31,33 @@ DEFAULT_THRESHOLD = 0.20
 MIN_GATED_WALL_S = milliseconds(1)
 
 
+#: The engine label reported for BENCH documents that predate the
+#: cell-physics engine (no ``host.physics_engine`` key).
+PRE_ENGINE_LABEL = "pre-vectorized"
+
+
+def document_engine(doc: dict[str, Any]) -> str:
+    """The physics engine a trajectory document was produced with.
+
+    Documents written before the cell-physics engine existed carry no
+    ``host.physics_engine`` key; they report :data:`PRE_ENGINE_LABEL`.
+    """
+    return str(doc.get("host", {}).get("physics_engine", PRE_ENGINE_LABEL))
+
+
 @dataclass(frozen=True)
 class ComparisonRow:
-    """One benchmark's old-vs-new verdict."""
+    """One benchmark's old-vs-new verdict.
+
+    ``status`` is one of ``"ok"``, ``"regression"``, ``"improved"``,
+    ``"added"``, ``"missing"``, or ``"cross-engine"`` — the last marks
+    a would-be regression between documents produced by *different*
+    physics engines, which is an engine-speed delta, not a code
+    regression, and never gates.
+    """
 
     name: str
-    status: str  # "ok" | "regression" | "improved" | "added" | "missing"
+    status: str
     old_wall_s: float | None = None
     new_wall_s: float | None = None
 
@@ -99,7 +120,10 @@ def compare(
     Only benchmarks present in *both* documents can regress; the rest
     land as informational ``added``/``missing`` rows.  A host mismatch
     (different CPU count) is noted — wall-clock comparisons across
-    different hardware are advisory at best.
+    different hardware are advisory at best.  When the two documents
+    were produced by different physics engines (or the baseline
+    predates the engine), would-be regressions demote to non-gating
+    ``cross-engine`` rows: the delta measures the engines, not the PR.
     """
     if threshold <= 0.0:
         raise PerfError(f"regression threshold must be positive, got {threshold}")
@@ -112,6 +136,15 @@ def compare(
         notes.append(
             f"host mismatch: baseline ran on {old_cpus} CPU(s), "
             f"this run on {new_cpus} — wall-time deltas are advisory"
+        )
+    old_engine = document_engine(old)
+    new_engine = document_engine(new)
+    cross_engine = old_engine != new_engine
+    if cross_engine:
+        notes.append(
+            f"engine mismatch: baseline used the {old_engine!r} physics "
+            f"engine, this run {new_engine!r} — slowdowns are reported "
+            f"as cross-engine, not regressions"
         )
     rows = []
     for name in sorted(set(old_entries) | set(new_entries)):
@@ -133,7 +166,7 @@ def compare(
             old_wall >= MIN_GATED_WALL_S
             and new_wall > old_wall * (1.0 + threshold)
         ):
-            status = "regression"
+            status = "cross-engine" if cross_engine else "regression"
         elif old_wall > 0.0 and new_wall < old_wall * (1.0 - threshold):
             status = "improved"
         else:
@@ -178,14 +211,41 @@ def render_comparison(comparison: Comparison) -> str:
 
 @dataclass
 class TrendReport:
-    """Wall-time trajectory of every benchmark across BENCH documents."""
+    """Wall-time trajectory of every benchmark across BENCH documents.
+
+    ``engines`` maps each sequence number to the physics engine that
+    produced its document (:data:`PRE_ENGINE_LABEL` for documents
+    predating the engine), so readers can tell an engine switch from a
+    real speed change.
+    """
 
     sequences: list[int]
     series: dict[str, dict[int, float]]  # name -> {sequence: wall_s}
+    engines: dict[int, str] = field(default_factory=dict)
+
+    def engine_boundaries(self) -> list[tuple[int, str, str]]:
+        """Sequence pairs where the producing engine changed.
+
+        Returns ``(sequence, previous_engine, engine)`` for every
+        document whose engine differs from its predecessor's — the
+        columns across which wall-time deltas measure the engine, not
+        the code.
+        """
+        boundaries = []
+        for prev_seq, seq in zip(self.sequences, self.sequences[1:]):
+            prev_engine = self.engines.get(prev_seq, PRE_ENGINE_LABEL)
+            engine = self.engines.get(seq, PRE_ENGINE_LABEL)
+            if engine != prev_engine:
+                boundaries.append((seq, prev_engine, engine))
+        return boundaries
 
     def to_dict(self) -> dict[str, Any]:
         return {
             "sequences": list(self.sequences),
+            "engines": {
+                str(seq): self.engines.get(seq, PRE_ENGINE_LABEL)
+                for seq in self.sequences
+            },
             "series": {
                 name: {str(seq): wall for seq, wall in sorted(points.items())}
                 for name, points in sorted(self.series.items())
@@ -200,23 +260,34 @@ def trend(root: str | Path) -> TrendReport:
         raise PerfError(f"no BENCH_<n>.json trajectory documents at {root}")
     sequences = []
     series: dict[str, dict[int, float]] = {}
+    engines: dict[int, str] = {}
     for sequence, path in paths:
         doc = load_bench(path)
         sequences.append(sequence)
+        engines[sequence] = document_engine(doc)
         for entry in doc.get("benchmarks", []):
             series.setdefault(entry["name"], {})[sequence] = float(
                 entry["wall_s"]
             )
-    return TrendReport(sequences=sequences, series=series)
+    return TrendReport(sequences=sequences, series=series, engines=engines)
 
 
 def render_trend(report: TrendReport) -> str:
-    """The trend report as a markdown table (one column per sequence)."""
+    """The trend report as a markdown table (one column per sequence).
+
+    An ``engine`` row under the header names the physics engine behind
+    each column, and a note calls out every engine boundary — columns
+    across which a wall-time delta is an engine comparison, not a
+    regression or an optimisation.
+    """
     header = "| benchmark | " + " | ".join(
         f"BENCH_{seq}" for seq in report.sequences
     ) + " |"
     rule = "|---|" + "---:|" * len(report.sequences)
-    lines = [header, rule]
+    engine_row = "| engine | " + " | ".join(
+        report.engines.get(seq, PRE_ENGINE_LABEL) for seq in report.sequences
+    ) + " |"
+    lines = [header, rule, engine_row]
     for name in sorted(report.series):
         points = report.series[name]
         cells = [
@@ -224,4 +295,10 @@ def render_trend(report: TrendReport) -> str:
             for seq in report.sequences
         ]
         lines.append(f"| {name} | " + " | ".join(cells) + " |")
+    for seq, prev_engine, engine in report.engine_boundaries():
+        lines.append(
+            f"\n> note: BENCH_{seq} switched physics engine "
+            f"({prev_engine} -> {engine}); deltas across this column "
+            f"compare engines, not code changes"
+        )
     return "\n".join(lines)

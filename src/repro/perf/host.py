@@ -20,6 +20,8 @@ import platform
 import sys
 from typing import Any
 
+from ..circuits.engine import engine_name
+
 
 def cpu_count() -> int:
     """Usable CPU count (never less than one)."""
@@ -32,12 +34,20 @@ def host_metadata(jobs: int | None = None) -> dict[str, Any]:
     ``jobs`` is the effective ``--repro-jobs`` / ``--jobs`` value the
     producing run used, so a reader can tell a deliberately-serial run
     from a host that had no cores to parallelise over.
+
+    ``physics_engine`` records which cell-physics engine produced the
+    numbers (``"vector"`` or ``"scalar"``, :mod:`repro.circuits.engine`).
+    BENCH documents written before the engine existed lack the key;
+    trend tooling treats those as the pre-vectorized implementation and
+    refuses to gate across the boundary (both engines are bit-identical
+    in results, but not in speed).
     """
     meta: dict[str, Any] = {
         "cpu_count": cpu_count(),
         "platform": platform.system().lower() or "unknown",
         "machine": platform.machine() or "unknown",
         "python": "{}.{}.{}".format(*sys.version_info[:3]),
+        "physics_engine": engine_name(),
     }
     if jobs is not None:
         meta["jobs"] = int(jobs)

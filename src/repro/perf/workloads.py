@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..circuits.dram import DramArray
+from ..circuits.engine import forced_engine
 from ..circuits.sram import SramArray
 from ..errors import PerfError
 from ..exec import ShardPlan, WorkUnit, execute, shard_unit
@@ -37,6 +38,11 @@ _SRAM_BITS = 64 * 1024 * 8  # one 64 KiB macro
 _DRAM_BITS = 512 * 1024 * 8  # one 512 KiB module
 _RETENTION_STEPS = 8
 _EXEC_UNITS = 64
+
+#: The engine-differential macro: small enough that even the per-cell
+#: scalar reference engine finishes in about a second.
+_PHYSICS_BITS = 16 * 1024 * 8  # one 16 KiB macro
+_PHYSICS_CYCLES = 4
 
 #: The glitch quick campaign: 2x1x2 grid around the PIN guard, one
 #: repeat, both legs — every outcome class stays reachable.
@@ -97,6 +103,50 @@ def _dram_decay(seed: int) -> float:
     return float(_DRAM_BITS)
 
 
+def _physics_cells(seed: int, engine: str) -> float:
+    """The decay-heavy engine-differential workload on one engine.
+
+    One SRAM macro through ``_PHYSICS_CYCLES`` power-cycle/decay/restore
+    rounds plus one DRAM module through a full unpowered decay —
+    touching every bulk kernel the cell-physics engine defines.  The
+    unit counts are deterministic and identical for both engines (same
+    seeds, same RNG-stream contract), so the two entries' wall times
+    divide into an honest vector-vs-scalar speedup.
+    """
+    with forced_engine(engine):
+        array = SramArray(
+            _PHYSICS_BITS,
+            rng=generator(seed, "perf", "physics-sram"),
+            name=f"perf.physics-{engine}",
+        )
+        array.power_up()
+        array.fill_bytes(0x5A)
+        for step in range(_PHYSICS_CYCLES):
+            array.power_down()
+            array.elapse_unpowered((step + 1) * 5e-6)
+            array.restore_power()
+        module = DramArray(
+            _PHYSICS_BITS,
+            rng=generator(seed, "perf", "physics-dram"),
+            name=f"perf.physics-dram-{engine}",
+        )
+        module.restore_power()
+        module.power_down()
+        module.elapse_unpowered(1.0)
+        module.restore_power()
+    return float(_PHYSICS_BITS * _PHYSICS_CYCLES + _PHYSICS_BITS)
+
+
+def _physics_vector(seed: int) -> float:
+    """Engine differential, vectorized numpy leg (cells processed)."""
+    return _physics_cells(seed, "vector")
+
+
+def _physics_scalar(seed: int) -> float:
+    """Engine differential, per-cell scalar reference leg."""
+    return _physics_cells(seed, "scalar")
+
+
 def _glitch_campaign(seed: int) -> float:
     """A small glitch parameter search (attempts classified)."""
     results = execute(shard_plan(seed, _GLITCH_SPEC), jobs=1)
@@ -152,6 +202,10 @@ QUICK_WORKLOADS: tuple[QuickWorkload, ...] = (
     QuickWorkload("quick.exec-engine", "units_per_s", _exec_engine),
     QuickWorkload("quick.glitch-campaign", "attempts_per_s", _glitch_campaign),
     QuickWorkload("quick.lint-project", "files_per_s", _lint_project),
+    QuickWorkload("quick.physics-scalar", "cells_decayed_per_s",
+                  _physics_scalar),
+    QuickWorkload("quick.physics-vector", "cells_decayed_per_s",
+                  _physics_vector),
     QuickWorkload("quick.sram-decay", "cells_decayed_per_s", _sram_decay),
     QuickWorkload("quick.sram-retention", "cells_decayed_per_s",
                   _sram_retention),
@@ -159,7 +213,13 @@ QUICK_WORKLOADS: tuple[QuickWorkload, ...] = (
 
 
 def run_quick_suite(seed: int) -> list[BenchEntry]:
-    """Time every quick workload; returns ``source: "quick"`` entries."""
+    """Time every quick workload; returns ``source: "quick"`` entries.
+
+    The ``quick.physics-vector`` entry additionally carries a
+    ``speedup`` block dividing the scalar leg's wall time by its own —
+    the honest, same-host, same-work vector-vs-scalar engine ratio the
+    acceptance gate reads.
+    """
     entries = []
     for workload in QUICK_WORKLOADS:
         start = wall_clock()
@@ -179,4 +239,12 @@ def run_quick_suite(seed: int) -> list[BenchEntry]:
                 seed=seed,
             )
         )
+    by_name = {entry.name: entry for entry in entries}
+    vector = by_name.get("quick.physics-vector")
+    scalar = by_name.get("quick.physics-scalar")
+    if vector is not None and scalar is not None and vector.wall_s > 0.0:
+        vector.speedup = {
+            "vs_scalar_engine": scalar.wall_s / vector.wall_s,
+            "scalar_wall_s": scalar.wall_s,
+        }
     return entries

@@ -28,6 +28,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..circuits.engine import active_engine
 from ..errors import ResilienceError
 
 
@@ -66,9 +67,26 @@ class VoteResult:
 def majority_vote(reads: Sequence[bytes]) -> VoteResult:
     """Decode ``reads`` (equal-length dumps of one image) bit-by-bit.
 
-    Raises :class:`~repro.errors.ResilienceError` on an empty read list
-    or length-mismatched reads — both indicate a driver bug, not rig
-    noise, and must not be silently papered over.
+    Parameters
+    ----------
+    reads:
+        ``k >= 1`` byte strings of equal length — repeated dumps of the
+        same retained image.  Bits are voted little-endian within each
+        byte (the array accessors' order); the counting core is the
+        engine's ``vote_counts`` kernel.
+
+    Returns
+    -------
+    VoteResult
+        The majority-decoded bytes, the per-bit agreement fractions in
+        ``[0.5, 1.0]``, and ``k``.
+
+    Raises
+    ------
+    ResilienceError
+        On an empty read list or length-mismatched reads — both
+        indicate a driver bug, not rig noise, and must not be silently
+        papered over.
     """
     if not reads:
         raise ResilienceError("majority vote needs at least one read")
@@ -91,12 +109,7 @@ def majority_vote(reads: Sequence[bytes]) -> VoteResult:
             confidence=np.ones(length * 8, dtype=np.float64),
             reads=1,
         )
-    stacked = np.empty((k, length * 8), dtype=np.uint8)
-    for row, read in enumerate(reads):
-        stacked[row] = np.unpackbits(
-            np.frombuffer(read, dtype=np.uint8), bitorder="little"
-        )
-    ones = stacked.sum(axis=0, dtype=np.int64)
+    ones = active_engine().vote_counts(list(reads), length)
     majority = (2 * ones > k).astype(np.uint8)
     decoded = np.packbits(majority, bitorder="little").tobytes()
     agree = np.maximum(ones, k - ones).astype(np.float64) / float(k)

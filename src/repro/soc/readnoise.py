@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..circuits.engine import active_engine
 from ..errors import CalibrationError
 from ..obs import OBS
 
@@ -43,16 +44,31 @@ class BitErrorModel:
         self.bits_flipped = 0
 
     def corrupt(self, data: bytes) -> bytes:
-        """Return ``data`` with each bit independently flipped at ``rate``."""
+        """Return ``data`` with each bit independently flipped at ``rate``.
+
+        Parameters
+        ----------
+        data:
+            The raw dump to corrupt.  Consumes one bulk
+            ``random(8 * len(data))`` draw from the model's stream
+            (none when ``rate`` is 0 or ``data`` is empty), regardless
+            of how many bits actually flip.
+
+        Returns
+        -------
+        bytes
+            ``data`` XORed with a packed Bernoulli flip mask — the
+            input object itself when no bit flipped.
+        """
         if self.rate <= 0.0 or not data:
             return data
         raw = np.frombuffer(data, dtype=np.uint8)
-        flips = self._rng.random(raw.size * 8) < self.rate
+        mask, flipped = active_engine().flip_mask(
+            self._rng, raw.size, self.rate
+        )
         self.bits_read += raw.size * 8
-        flipped = int(np.count_nonzero(flips))
         if flipped == 0:
             return data
-        mask = np.packbits(flips, bitorder="little").astype(np.uint8)
         self.bits_flipped += flipped
         if OBS.enabled:
             OBS.counter_inc("rig.bits_read", raw.size * 8)

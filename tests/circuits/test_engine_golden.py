@@ -1,0 +1,95 @@
+"""Golden-manifest equivalence: scalar and vector engines per experiment.
+
+The kernel-level differential tests prove each kernel pair bit-equal in
+isolation; these tests prove the property **composes** through whole
+paper experiments: the manifest fingerprint — which hashes the seed,
+every recorded metric, and every result row, with wall-clock timings
+excluded by construction — is byte-identical whichever engine ran the
+physics, serially and across a 4-worker shard pool.
+
+The scalar legs select the engine via the ``REPRO_SCALAR_PHYSICS``
+environment variable rather than ``forced_engine()`` because worker
+processes inherit the environment but not module state.
+
+``table1`` is the heaviest experiment (~300M cell-ops; minutes on the
+scalar engine), so its pin carries the ``slow`` marker and runs in the
+dedicated physics-goldens CI job, not tier-1.
+"""
+
+import pytest
+
+from repro import obs
+from repro.circuits.engine import SCALAR_ENV
+from repro.experiments import figure10, retention_sweep, table1
+
+SEED = 1234
+
+
+def _fingerprint(experiment, jobs: int) -> str:
+    with obs.capture() as o:
+        experiment.run(seed=SEED, jobs=jobs)
+        manifest = o.last_manifest
+        assert manifest is not None
+        manifest.validate()
+        return manifest.fingerprint()
+
+
+def _engine_fingerprints(experiment, jobs: int, monkeypatch) -> tuple[str, str]:
+    monkeypatch.delenv(SCALAR_ENV, raising=False)
+    vector = _fingerprint(experiment, jobs)
+    monkeypatch.setenv(SCALAR_ENV, "1")
+    scalar = _fingerprint(experiment, jobs)
+    monkeypatch.delenv(SCALAR_ENV, raising=False)
+    return vector, scalar
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+class TestGoldenEquivalence:
+    def test_retention_sweep_engines_match(self, jobs, monkeypatch):
+        vector, scalar = _engine_fingerprints(
+            retention_sweep, jobs, monkeypatch
+        )
+        assert vector == scalar
+
+    def test_figure10_engines_match(self, jobs, monkeypatch):
+        vector, scalar = _engine_fingerprints(figure10, jobs, monkeypatch)
+        assert vector == scalar
+
+    @pytest.mark.slow
+    def test_table1_engines_match(self, jobs, monkeypatch):
+        vector, scalar = _engine_fingerprints(table1, jobs, monkeypatch)
+        assert vector == scalar
+
+
+class TestGoldenStability:
+    """The vector engine reproduces the pre-engine fingerprints.
+
+    These constants were produced by the pre-refactor scalar-free
+    implementation (commit 5fd9081) at seed 1234 — the refactor's
+    "results are byte-identical" claim, pinned.  They will only change
+    if the physics itself changes, which must be a deliberate,
+    documented decision (update docs/physics.md in the same PR).
+    """
+
+    RETENTION_SWEEP_FP = (
+        "ebcd1df2d9e8276a806b5581029497bc2c94070a022b4712f486fbbe72cc99d7"
+    )
+    FIGURE10_FP = (
+        "e51d5f81821dd7186c1348b4d11e5d103c69c210df8ca5714e6bab873d2054db"
+    )
+    TABLE1_FP = (
+        "e0e648cfd3b126582885c3247c34b62014a34841f6a6bc9237c92aef9768639a"
+    )
+
+    def test_retention_sweep_pin(self, monkeypatch):
+        monkeypatch.delenv(SCALAR_ENV, raising=False)
+        assert _fingerprint(retention_sweep, 1) == self.RETENTION_SWEEP_FP
+
+    def test_figure10_pin(self, monkeypatch):
+        monkeypatch.delenv(SCALAR_ENV, raising=False)
+        assert _fingerprint(figure10, 1) == self.FIGURE10_FP
+
+    @pytest.mark.slow
+    def test_table1_pin(self, monkeypatch):
+        monkeypatch.delenv(SCALAR_ENV, raising=False)
+        assert _fingerprint(table1, 1) == self.TABLE1_FP

@@ -2,9 +2,12 @@
 
 import pytest
 
+from repro.circuits.engine import engine_name
 from repro.errors import PerfError
 from repro.perf import (
+    PRE_ENGINE_LABEL,
     compare,
+    document_engine,
     render_comparison,
     render_trend,
     trend,
@@ -84,6 +87,33 @@ class TestGate:
         assert doc["rows"][0]["ratio"] == pytest.approx(2.0)
 
 
+class TestCrossEngine:
+    """Engine-aware comparison: cross-engine deltas never gate."""
+
+    def test_document_engine_reads_the_host_block(self):
+        doc = make_bench_doc({"a": 1.0})
+        assert document_engine(doc) == engine_name()
+
+    def test_pre_engine_documents_get_the_sentinel_label(self):
+        doc = make_bench_doc({"a": 1.0})
+        del doc["host"]["physics_engine"]
+        assert document_engine(doc) == PRE_ENGINE_LABEL
+
+    def test_cross_engine_slowdown_is_demoted_and_noted(self):
+        old = make_bench_doc({"a": 1.0})
+        del old["host"]["physics_engine"]  # pre-vectorized baseline
+        comparison = compare(old, make_bench_doc({"a": 2.0}))
+        assert comparison.passed
+        assert comparison.rows[0].status == "cross-engine"
+        assert any("engine mismatch" in note for note in comparison.notes)
+
+    def test_same_engine_slowdown_still_gates(self):
+        comparison = compare(
+            make_bench_doc({"a": 1.0}), make_bench_doc({"a": 2.0})
+        )
+        assert not comparison.passed
+
+
 class TestTrend:
     def test_trend_orders_by_sequence(self, tmp_path):
         write_bench(
@@ -105,3 +135,35 @@ class TestTrend:
     def test_trend_requires_documents(self, tmp_path):
         with pytest.raises(PerfError, match="no BENCH"):
             trend(tmp_path)
+
+    def test_trend_annotates_engine_boundaries(self, tmp_path):
+        old = make_bench_doc({"a": 2.0}, sequence=1)
+        del old["host"]["physics_engine"]  # predates the engine tag
+        write_bench(tmp_path / "BENCH_1.json", old)
+        write_bench(
+            tmp_path / "BENCH_2.json",
+            make_bench_doc({"a": 0.1}, sequence=2),
+        )
+        report = trend(tmp_path)
+        current = engine_name()
+        assert report.engines == {1: PRE_ENGINE_LABEL, 2: current}
+        assert report.engine_boundaries() == [
+            (2, PRE_ENGINE_LABEL, current)
+        ]
+        assert report.to_dict()["engines"] == {
+            "1": PRE_ENGINE_LABEL, "2": current,
+        }
+        rendered = render_trend(report)
+        assert "| engine |" in rendered
+        assert "switched physics engine" in rendered
+
+    def test_trend_without_engine_change_has_no_boundary_note(self, tmp_path):
+        write_bench(
+            tmp_path / "BENCH_1.json", make_bench_doc({"a": 1.0}, sequence=1)
+        )
+        write_bench(
+            tmp_path / "BENCH_2.json", make_bench_doc({"a": 0.9}, sequence=2)
+        )
+        report = trend(tmp_path)
+        assert report.engine_boundaries() == []
+        assert "switched physics engine" not in render_trend(report)

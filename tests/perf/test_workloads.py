@@ -29,3 +29,15 @@ class TestQuickSuite:
         # and seed-independent by construction.
         assert files >= 100.0
         assert _lint_project(seed=14) == files
+
+    def test_physics_pair_measures_the_engine_speedup(self):
+        entries = {e.name: e for e in run_quick_suite(seed=13)}
+        vector = entries["quick.physics-vector"]
+        scalar = entries["quick.physics-scalar"]
+        # Identical cell counts: the pair runs the same workload.
+        assert vector.rates and scalar.rates
+        # The vector entry carries the measured engine-vs-engine ratio.
+        assert vector.speedup is not None
+        assert vector.speedup["vs_scalar_engine"] > 1.0
+        assert vector.speedup["scalar_wall_s"] == scalar.wall_s
+        assert scalar.speedup is None

@@ -4,7 +4,15 @@
 Scans every top-level ``*.md`` plus everything under ``docs/`` for
 inline Markdown links and images, and fails if a relative target does
 not exist — including heading anchors (``file.md#section`` is checked
-against the GitHub-style slugs of that file's headings).
+against the GitHub-style slugs of that file's headings, for both
+cross-file and intra-doc ``#fragment`` links).
+
+Code references in inline code spans of the form
+``` `src/repro/circuits/sram.py:123` ``` (optionally ``:123-145``) are
+validated too: the file must exist and the line range must fall within
+it.  ``docs/physics.md`` leans on these for its equations→code table;
+a refactor that moves a function without regenerating the table
+(``tools/gen_physics_table.py --write``) fails here.
 
 External links (``http(s)://``, ``mailto:``) are not fetched; docs CI
 must not depend on the network.
@@ -30,6 +38,9 @@ HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
 
 #: Fenced code blocks must not contribute links or headings.
 FENCE_RE = re.compile(r"^(```|~~~)")
+
+#: ``path/to/file.py:123`` or ``path.py:123-145`` inside a code span.
+CODE_REF_RE = re.compile(r"`([\w./\-]+\.py):(\d+)(?:-(\d+))?`")
 
 SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
 
@@ -69,9 +80,45 @@ def _anchors(path: Path) -> set[str]:
     return slugs
 
 
+def _line_count(path: Path, cache: dict[Path, int]) -> int:
+    if path not in cache:
+        cache[path] = len(path.read_text(encoding="utf-8").splitlines())
+    return cache[path]
+
+
+def _check_code_refs(
+    rel: Path, number: int, line: str, line_cache: dict[Path, int]
+) -> list[str]:
+    """Validate every ``file.py:NN`` code reference on one line."""
+    problems = []
+    for match in CODE_REF_RE.finditer(line):
+        ref_path = REPO_ROOT / match.group(1)
+        start = int(match.group(2))
+        end = int(match.group(3)) if match.group(3) else start
+        if not ref_path.is_file():
+            problems.append(
+                f"{rel}:{number}: code reference to missing file "
+                f"{match.group(1)!r}"
+            )
+            continue
+        total = _line_count(ref_path, line_cache)
+        if start < 1 or end < start or end > total:
+            problems.append(
+                f"{rel}:{number}: code reference "
+                f"{match.group(0)} outside file "
+                f"({match.group(1)} has {total} lines)"
+            )
+    return problems
+
+
 def _check_file(path: Path, anchor_cache: dict[Path, set[str]]) -> list[str]:
     problems = []
+    line_cache: dict[Path, int] = {}
     for number, line in _visible_lines(path.read_text(encoding="utf-8")):
+        rel_for_refs = path.parent.relative_to(REPO_ROOT) / path.name
+        problems.extend(
+            _check_code_refs(rel_for_refs, number, line, line_cache)
+        )
         for match in LINK_RE.finditer(line):
             target = match.group(1)
             if target.startswith(SKIP_SCHEMES) or target.startswith("<"):
