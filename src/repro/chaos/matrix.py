@@ -1,0 +1,163 @@
+"""The chaos matrix: every fault class × ``--jobs``, with assertions.
+
+For each fault class the supervised runtime claims to survive — kill,
+hang, fsync failure, ENOSPC, torn journal tail, poison unit — the
+matrix runs the probe campaign with that fault injected, at each jobs
+level of the grid, and asserts the two chaos invariants per cell:
+
+1. the run completes with a manifest fingerprint **byte-identical**
+   to the uninterrupted reference (directly, or after ``--resume``);
+2. the injected fault shows up in the typed failure taxonomy as its
+   expected :data:`repro.errors.FAILURE_CLASSES` entry.
+
+Serial (``jobs=1``) and pooled (``jobs=4``) cells exercise genuinely
+different machinery — a ``kill`` serially is an engine-level simulated
+crash with journal banking and resume, while on the pool it is a real
+``SIGKILL`` recovered *in-run* by the supervisor — so the grid is not
+redundant.  CI runs this as the ``chaos-matrix`` job.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from dataclasses import dataclass
+from typing import Any
+
+from .runner import ChaosRunResult, reference_fingerprint, run_chaos
+
+#: (name, fault spec, expected failure class) — one row per fault
+#: class the acceptance gate names.  Targets sit mid-plan so every
+#: fault lands after some progress is banked and before the end.
+DEFAULT_MATRIX: tuple[tuple[str, str, str], ...] = (
+    ("kill", "kill@unit=3", "crash"),
+    ("hang", "hang@unit=4", "hang"),
+    ("fsync", "fsync@record=2", "journal-io"),
+    ("enospc", "enospc@record=2", "journal-enospc"),
+    ("torn", "torn@record=1", "journal-torn"),
+    ("poison", "poison@unit=5", "poison"),
+)
+
+#: Jobs levels every fault class is exercised at.
+DEFAULT_JOBS_GRID: tuple[int, ...] = (1, 4)
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One (fault class, jobs) cell and its assertion outcome."""
+
+    name: str
+    expected_class: str
+    result: ChaosRunResult
+    problems: tuple[str, ...]
+
+    @property
+    def passed(self) -> bool:
+        return not self.problems
+
+
+@dataclass(frozen=True)
+class MatrixReport:
+    """Every cell of one matrix run."""
+
+    experiment: str
+    seed: int
+    cells: tuple[MatrixCell, ...]
+
+    @property
+    def passed(self) -> bool:
+        return all(cell.passed for cell in self.cells)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly view for the CLI's ``--json`` mode."""
+        return {
+            "experiment": self.experiment,
+            "seed": self.seed,
+            "passed": self.passed,
+            "cells": [
+                {
+                    "name": cell.name,
+                    "expected_class": cell.expected_class,
+                    "passed": cell.passed,
+                    "problems": list(cell.problems),
+                    **cell.result.to_dict(),
+                }
+                for cell in self.cells
+            ],
+        }
+
+
+def run_matrix(
+    workdir: str,
+    seed: int,
+    experiment: str = "chaos-probe",
+    matrix: tuple[tuple[str, str, str], ...] = DEFAULT_MATRIX,
+    jobs_grid: tuple[int, ...] = DEFAULT_JOBS_GRID,
+    hang_timeout_s: float = 2.0,
+) -> MatrixReport:
+    """Run the full grid under ``workdir`` (one subdir per cell).
+
+    Cell directories are wiped before each run — matrix state must
+    come from the cell's own faults, not a previous invocation.  The
+    reference fingerprint is computed once (it is jobs-independent by
+    the engine's equivalence guarantee).
+    """
+    reference = reference_fingerprint(experiment, seed)
+    cells = []
+    for name, faults, expected in matrix:
+        for jobs in jobs_grid:
+            cell_dir = os.path.join(workdir, f"{name}-jobs{jobs}")
+            if os.path.exists(cell_dir):
+                shutil.rmtree(cell_dir)
+            result = run_chaos(
+                experiment,
+                faults,
+                seed=seed,
+                jobs=jobs,
+                workdir=cell_dir,
+                hang_timeout_s=hang_timeout_s,
+                reference=reference,
+            )
+            cells.append(
+                MatrixCell(
+                    name=name,
+                    expected_class=expected,
+                    result=result,
+                    problems=_check_cell(result, expected),
+                )
+            )
+    return MatrixReport(experiment=experiment, seed=seed, cells=tuple(cells))
+
+
+def _check_cell(result: ChaosRunResult, expected: str) -> tuple[str, ...]:
+    problems = []
+    if not result.identical:
+        problems.append(
+            f"fingerprint {result.final_fingerprint[:12]} != reference "
+            f"{result.reference_fingerprint[:12]}"
+        )
+    if expected not in result.failure_classes:
+        observed = ", ".join(result.failure_classes) or "none"
+        problems.append(
+            f"failure class {expected!r} not recorded (observed: {observed})"
+        )
+    return tuple(problems)
+
+
+def render_matrix(report: MatrixReport) -> str:
+    """Human-readable grid: one line per cell."""
+    lines = [
+        f"chaos matrix: {report.experiment} seed={report.seed} — "
+        f"{'PASS' if report.passed else 'FAIL'}"
+    ]
+    for cell in report.cells:
+        status = "ok" if cell.passed else "FAIL"
+        lines.append(
+            f"  {cell.name:<8} jobs={cell.result.jobs}  {status:<4} "
+            f"class={cell.expected_class:<14} "
+            f"resumes={cell.result.interruptions} "
+            f"identical={'yes' if cell.result.identical else 'NO'}"
+        )
+        for problem in cell.problems:
+            lines.append(f"           - {problem}")
+    return "\n".join(lines)

@@ -14,7 +14,12 @@ Commands:
   >20 % wall-time regressions (nonzero exit on failure), ``--trend``
   renders the trajectory across every committed document;
 * ``progress`` — tail a live (or crashed) exec checkpoint journal and
-  report shards done/total, rolling throughput, and ETA.
+  report shards done/total, rolling throughput, and ETA;
+* ``chaos`` — the deterministic fault-injection harness
+  (:mod:`repro.chaos`): ``--faults SPEC`` runs one seeded faulted
+  campaign and asserts byte-identity with the fault-free reference,
+  ``--matrix`` runs the full fault-class × ``--jobs`` grid, and
+  ``--smoke`` runs the subprocess ``kill -9``/resume end-to-end check.
 
 ``attack`` and ``experiment`` accept observability flags: ``--trace
 FILE`` streams a JSONL span/event trace, ``--metrics`` reports the
@@ -36,14 +41,22 @@ import difflib
 import inspect
 import sys
 from collections.abc import Sequence
+from contextlib import nullcontext
 
 from . import __version__, experiments, obs
+from .chaos import targets as chaos_targets
 from .core.coldboot import ColdBootAttack
 from .core.report import AttackReport
 from .core.voltboot import VoltBootAttack
 from .devices import DEVICES, build_device, platform_table, probe_table
 from .errors import CampaignInterrupted, ReproError
-from .exec import checkpointing
+from .exec import (
+    SupervisionPolicy,
+    checkpointing,
+    clear_incidents,
+    incidents,
+    supervised,
+)
 from .soc.bootrom import BootMedia
 
 #: Process exit codes (documented in docs/robustness.md).
@@ -53,6 +66,10 @@ EXIT_USAGE = 2
 #: A checkpointed campaign was interrupted (SIGINT); the partial
 #: journal was written and the run can be completed with ``--resume``.
 EXIT_INTERRUPTED = 3
+#: The run *completed*, but around recorded incidents — quarantined
+#: work units and/or a degraded (in-memory) checkpoint journal.  The
+#: report and manifest were still produced; details went to stderr.
+EXIT_DEGRADED = 4
 
 #: Experiment name -> (module, needs-report-arg) registry for the CLI.
 EXPERIMENTS = {
@@ -75,6 +92,7 @@ EXPERIMENTS = {
     "policy-ablation": experiments.policy_ablation,
     "glitch-campaign": experiments.glitch_campaign,
     "noisy-rig": experiments.noisy_rig,
+    "chaos-probe": chaos_targets,
 }
 
 #: Targets the attack command accepts per device.
@@ -132,6 +150,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="resume from an earlier checkpoint journal, running only "
         "the missing work units (implies --checkpoint)",
+    )
+    experiment.add_argument(
+        "--quarantine", action="store_true",
+        help="quarantine work units that exhaust their retries instead "
+        "of failing the campaign (completed run exits "
+        f"{EXIT_DEGRADED} and records a partial-result manifest "
+        "section)",
     )
     _add_observability_flags(experiment)
 
@@ -195,6 +220,58 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--json", action="store_true",
         help="emit machine-readable JSON instead of text/markdown",
+    )
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="deterministic fault injection against the supervised "
+        "runtime (repro.chaos)",
+    )
+    chaos.add_argument(
+        "experiment", nargs="?", default=None, metavar="NAME",
+        help="target experiment (default: chaos-probe; noisy-rig for "
+        "--smoke)",
+    )
+    chaos_mode = chaos.add_mutually_exclusive_group(required=True)
+    chaos_mode.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="fault spec, e.g. 'kill@unit=3,torn@record=1' "
+        "(<kind>@<target>=<index>[:times=K][:s=V], comma-separated)",
+    )
+    chaos_mode.add_argument(
+        "--matrix", action="store_true",
+        help="run every fault class at every --jobs grid level and "
+        "assert byte-identical (or resume-to-byte-identical) manifests",
+    )
+    chaos_mode.add_argument(
+        "--smoke", action="store_true",
+        help="subprocess kill -9 / --resume end-to-end check "
+        "(previously tools/chaos_smoke.py)",
+    )
+    chaos.add_argument("--seed", type=int, default=2022)
+    _add_jobs_flag(chaos)
+    chaos.add_argument(
+        "--workdir", default="chaos-runs", metavar="DIR",
+        help="base directory for seeded chaos workdirs (journals, "
+        "fault markers); no tempfile entropy",
+    )
+    chaos.add_argument(
+        "--hang-timeout", type=float, default=None, metavar="S",
+        help="supervisor hang detection timeout for injected hangs "
+        "(default: 5s per run, 2s in the matrix)",
+    )
+    chaos.add_argument(
+        "--timeout", type=float, default=300.0, metavar="S",
+        help="--smoke only: how long to wait for the victim process "
+        "to journal its first unit",
+    )
+    chaos.add_argument(
+        "--keep", action="store_true",
+        help="keep the workdir (journals, fault markers) after the run",
+    )
+    chaos.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of text",
     )
 
     progress = commands.add_parser(
@@ -418,15 +495,22 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     observed = _wants_observability(args)
     if observed and not _configure_observability(args):
         return 2
+    clear_incidents()
+    supervision = (
+        supervised(SupervisionPolicy(quarantine=True))
+        if args.quarantine
+        else nullcontext()
+    )
     try:
-        if args.checkpoint or args.resume:
-            directory = args.checkpoint or (
-                f"checkpoints/{args.name}-seed{args.seed}"
-            )
-            with checkpointing(directory, resume=args.resume):
+        with supervision:
+            if args.checkpoint or args.resume:
+                directory = args.checkpoint or (
+                    f"checkpoints/{args.name}-seed{args.seed}"
+                )
+                with checkpointing(directory, resume=args.resume):
+                    result = _run_experiment(args, module)
+            else:
                 result = _run_experiment(args, module)
-        else:
-            result = _run_experiment(args, module)
         report = module.report(result)
         if args.json:
             doc: dict[str, object] = {
@@ -440,10 +524,34 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             print(report.render())
             if args.metrics:
                 _print_metrics()
-        return 0
+        return _degraded_exit()
     finally:
         if observed:
             obs.OBS.reset()
+
+
+def _degraded_exit() -> int:
+    """0 for a clean run; ``EXIT_DEGRADED`` (with stderr warnings) when
+    the run completed *around* incidents — quarantined units or a
+    journal that degraded to its in-memory bank."""
+    recorded = incidents()
+    if not recorded:
+        return EXIT_OK
+    for incident in recorded:
+        detail = ", ".join(
+            f"{key}={value}" for key, value in sorted(incident.detail.items())
+        )
+        print(
+            f"warning: {incident.kind} [{incident.failure_class}]: {detail}",
+            file=sys.stderr,
+        )
+    print(
+        f"degraded: run completed around {len(recorded)} incident(s); "
+        f"results above are partial or were journalled in memory only "
+        f"(exit code {EXIT_DEGRADED})",
+        file=sys.stderr,
+    )
+    return EXIT_DEGRADED
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -538,6 +646,82 @@ def _bench_gate(
     return EXIT_OK if comparison.passed else EXIT_FAILURE
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import os
+    import shutil
+
+    from . import chaos
+
+    experiment = args.experiment or (
+        "noisy-rig" if args.smoke else "chaos-probe"
+    )
+    if args.smoke:
+        result = chaos.run_smoke(
+            experiment=experiment,
+            seed=args.seed,
+            jobs=args.jobs,
+            timeout_s=args.timeout,
+            workdir_base=args.workdir,
+            keep=args.keep,
+        )
+        if args.json:
+            print(obs.dumps(result.to_dict()))
+        else:
+            print(chaos.render_smoke(result))
+        return EXIT_OK if result.passed else EXIT_FAILURE
+    if args.matrix:
+        workdir = os.path.join(
+            args.workdir, f"matrix-{experiment}-seed{args.seed}"
+        )
+        report = chaos.run_matrix(
+            workdir,
+            seed=args.seed,
+            experiment=experiment,
+            hang_timeout_s=(
+                2.0 if args.hang_timeout is None else args.hang_timeout
+            ),
+        )
+        if not args.keep:
+            shutil.rmtree(workdir, ignore_errors=True)
+        if args.json:
+            print(obs.dumps(report.to_dict()))
+        else:
+            print(chaos.render_matrix(report))
+        return EXIT_OK if report.passed else EXIT_FAILURE
+    workdir = os.path.join(args.workdir, f"{experiment}-seed{args.seed}")
+    if os.path.exists(workdir):
+        shutil.rmtree(workdir)
+    result = chaos.run_chaos(
+        experiment,
+        args.faults,
+        seed=args.seed,
+        jobs=args.jobs,
+        workdir=workdir,
+        hang_timeout_s=(
+            5.0 if args.hang_timeout is None else args.hang_timeout
+        ),
+    )
+    if not args.keep:
+        shutil.rmtree(workdir, ignore_errors=True)
+    if args.json:
+        print(obs.dumps(result.to_dict()))
+    else:
+        classes = ", ".join(result.failure_classes) or "none"
+        verdict = (
+            "byte-identical to"
+            if result.identical
+            else "DIVERGES from"
+        )
+        print(
+            f"chaos run: {result.experiment} faults='{result.faults}' "
+            f"seed={result.seed} jobs={result.jobs}\n"
+            f"  resumes={result.interruptions}  "
+            f"failure classes: {classes}\n"
+            f"  final manifest {verdict} the fault-free reference"
+        )
+    return EXIT_OK if result.identical else EXIT_FAILURE
+
+
 def _cmd_progress(args: argparse.Namespace) -> int:
     from . import perf
 
@@ -579,6 +763,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 0
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
         if args.command == "progress":
             return _cmd_progress(args)
     except CampaignInterrupted as error:

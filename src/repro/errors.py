@@ -9,6 +9,8 @@ faults, and attack-orchestration failures.
 
 from __future__ import annotations
 
+import errno as _errno
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -111,6 +113,133 @@ class CheckpointError(ExecError):
     journal being resumed, and attempts to start a fresh run on top of
     an existing journal without ``--resume``.
     """
+
+
+#: The supervised runtime's failure taxonomy (docs/robustness.md).
+#: Every failure the engine survives — or degrades under — maps to
+#: exactly one of these classes, and the ``exec.failures`` counter is
+#: labelled with it, so chaos runs can assert that an injected fault
+#: was classified, not merely survived.
+FAILURE_CLASSES = (
+    "poison",          # a work unit raised deterministically
+    "timeout",         # a shard exceeded its per-shard timeout budget
+    "hang",            # a worker stopped making heartbeat progress
+    "crash",           # a worker died without shipping an outcome
+    "pool-loss",       # worker processes could not be (re)spawned
+    "journal-enospc",  # journal append failed with ENOSPC
+    "journal-io",      # journal append failed on write/flush/fsync
+    "journal-torn",    # a journal record was torn mid-write
+    "interrupt",       # the campaign was interrupted (SIGINT / chaos)
+)
+
+
+class WorkerHang(ExecError):
+    """A supervised shard worker stopped making heartbeat progress.
+
+    The supervisor SIGKILLs the worker and hands the shard back for a
+    serial re-attempt; this exception is the recorded *cause*.  The
+    message is deliberately free of wall-clock readings so it can be
+    journalled and compared byte-for-byte across runs.
+    """
+
+    def __init__(self, shard: str, hang_timeout_s: float) -> None:
+        super().__init__(
+            f"shard {shard!r} made no heartbeat progress within its "
+            f"{hang_timeout_s:g}s hang timeout and was killed"
+        )
+        self.shard = shard
+        self.hang_timeout_s = hang_timeout_s
+
+
+class WorkerCrash(ExecError):
+    """A supervised shard worker died without shipping an outcome.
+
+    Covers ``kill -9``, OOM kills, and hard interpreter crashes; the
+    supervisor detects the dead process, drains any result that raced
+    the death, and hands the shard back for a serial re-attempt.
+    """
+
+    def __init__(self, shard: str, exitcode: int | None) -> None:
+        super().__init__(
+            f"shard {shard!r} worker died with exit code {exitcode} "
+            f"before shipping its outcome"
+        )
+        self.shard = shard
+        self.exitcode = exitcode
+
+
+class PoolUnavailable(ExecError):
+    """No worker process could be spawned at all.
+
+    Raised by the supervised pool when the *first* spawn fails — the
+    engine downgrades the whole plan to the serial in-process path
+    (``exec.fallbacks``) without charging anyone's retry budget.
+    """
+
+
+class JournalWriteError(CheckpointError):
+    """A journal append failed at the OS layer.
+
+    Classified by errno into the failure taxonomy: ``journal-enospc``
+    for disk exhaustion, ``journal-io`` for everything else (fsync
+    errors, I/O errors).  The engine degrades the journal to an
+    in-memory bank and completes the run; the degradation is surfaced
+    through the CLI's ``EXIT_DEGRADED`` exit-code contract.
+    """
+
+    def __init__(self, path: str, cause: OSError) -> None:
+        self.failure_class = (
+            "journal-enospc"
+            if cause.errno == _errno.ENOSPC
+            else "journal-io"
+        )
+        super().__init__(
+            f"{path}: journal write failed ({self.failure_class}): {cause}"
+        )
+        self.path = path
+        self.errno = cause.errno
+
+
+class SimulatedFailure(BaseException):
+    """A chaos-injected *hard* failure (simulated crash or power loss).
+
+    Deliberately derived from :class:`BaseException`, not
+    :class:`ReproError`: the engine's bounded-retry handlers catch
+    ``Exception``, and a simulated ``kill -9`` must sail straight
+    through them exactly as a real one would — only the engine's
+    interrupt handler (which banks the journal) may intercept it.
+    """
+
+
+class ChaosError(ReproError):
+    """The chaos harness was misconfigured or its invariant check
+    could not be carried out (bad fault spec, unknown target, a
+    faulted campaign that never converged)."""
+
+
+def failure_class(error: BaseException) -> str:
+    """Map an exception to its :data:`FAILURE_CLASSES` entry.
+
+    The single classification point: the engine labels its
+    ``exec.failures`` counter with this, quarantine records carry it,
+    and the chaos matrix asserts on it.
+    """
+    if isinstance(error, WorkerHang):
+        return "hang"
+    if isinstance(error, WorkerCrash):
+        return "crash"
+    if isinstance(error, PoolUnavailable):
+        return "pool-loss"
+    if isinstance(error, JournalWriteError):
+        return error.failure_class
+    if isinstance(error, TimeoutError):
+        return "timeout"
+    if isinstance(error, (KeyboardInterrupt, CampaignInterrupted)):
+        return "interrupt"
+    if isinstance(error, SimulatedFailure):
+        simulated = getattr(error, "failure_class", None)
+        return simulated if simulated in FAILURE_CLASSES else "crash"
+    return "poison"
 
 
 class CampaignInterrupted(ExecError):

@@ -30,9 +30,18 @@ from .journal import CheckpointJournal, UnitRecord, plan_fingerprint
 from .plan import CHUNKS_PER_JOB, ShardPlan, WorkUnit, shard_unit
 from .runtime import (
     CheckpointPolicy,
+    Incident,
+    SupervisionPolicy,
     checkpoint_policy,
     checkpointing,
+    clear_incidents,
+    incidents,
+    injected,
+    install_fault_injector,
     set_checkpoint_policy,
+    set_supervision_policy,
+    supervised,
+    supervision_policy,
 )
 
 __all__ = [
@@ -42,14 +51,23 @@ __all__ = [
     "CheckpointJournal",
     "CheckpointPolicy",
     "ExecError",
+    "Incident",
     "ShardError",
     "ShardPlan",
+    "SupervisionPolicy",
     "UnitRecord",
     "WorkUnit",
     "checkpoint_policy",
     "checkpointing",
+    "clear_incidents",
     "execute",
+    "incidents",
+    "injected",
+    "install_fault_injector",
     "plan_fingerprint",
     "set_checkpoint_policy",
+    "set_supervision_policy",
     "shard_unit",
+    "supervised",
+    "supervision_policy",
 ]

@@ -1,20 +1,32 @@
 """Deterministic parallel dispatch of a :class:`~repro.exec.plan.ShardPlan`.
 
-:func:`execute` shards a plan's work units over a
-``ProcessPoolExecutor`` and merges the results back **in unit order**,
-so ``jobs=N`` is byte-identical to ``jobs=1`` for every experiment
-(the jobs-equivalence tests assert this).  The engine adds:
+:func:`execute` shards a plan's work units over a supervised pool of
+worker processes (:mod:`repro.exec.supervise`) and merges the results
+back **in unit order**, so ``jobs=N`` is byte-identical to ``jobs=1``
+for every experiment (the jobs-equivalence tests assert this).  The
+engine adds:
 
-* **per-shard timeout** — a shard that exceeds ``timeout_s`` on the
-  pool is abandoned there and re-attempted;
-* **bounded retry** — a failed or timed-out shard is re-run serially
-  in the parent (where a deterministic unit cannot fail differently
-  twice for transient reasons such as a broken pool); after
-  ``retries`` re-attempts it raises :class:`~repro.errors.ShardError`;
-* **graceful serial fallback** — if the pool cannot be created or
-  breaks mid-campaign, the remaining units run serially in-process and
-  the run still completes (an ``exec.fallback`` trace event records
-  the downgrade);
+* **per-shard timeout** — a shard that exceeds ``timeout_s`` is
+  SIGKILLed on the pool and re-attempted;
+* **heartbeat hang detection** — a worker that completes no unit
+  within the supervision policy's ``hang_timeout_s`` is killed and
+  re-attempted, instead of stalling the campaign forever;
+* **crash containment** — one worker dying (``kill -9``, OOM) costs
+  only its own shard; the survivors keep running;
+* **bounded retry** — a failed, timed-out, hung, or crashed shard is
+  re-run serially in the parent (where a deterministic unit cannot
+  fail differently twice for transient reasons); each round records a
+  *simulated* exponential backoff (``exec.backoff_s`` — nothing
+  sleeps), and after ``retries`` re-attempts the shard raises
+  :class:`~repro.errors.ShardError` — or, under a quarantine-enabled
+  supervision policy, degrades to per-unit quarantine records so the
+  campaign completes with a structured partial result;
+* **typed failure taxonomy** — every survived failure is classified
+  (:func:`repro.errors.failure_class`) and counted under
+  ``exec.failures{failure_class=...}``;
+* **graceful serial fallback** — if no worker can be spawned at all,
+  the plan runs serially in-process and the run still completes (an
+  ``exec.fallback`` trace event records the downgrade);
 * **per-shard observability** — each worker traces an ``exec.shard``
   span and collects its own metrics registry; the parent adopts the
   span records and merges the metric dumps, so a sharded run still
@@ -27,16 +39,26 @@ parent's open trace file is never written from a child.
 
 from __future__ import annotations
 
-from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
-from ..errors import CampaignInterrupted, ExecError, ShardError
+from ..errors import (
+    CampaignInterrupted,
+    ExecError,
+    JournalWriteError,
+    PoolUnavailable,
+    ShardError,
+    SimulatedFailure,
+    WorkerCrash,
+    WorkerHang,
+    failure_class,
+)
 from ..obs import OBS, MetricsRegistry, Tracer
 from ..obs.timing import observe_rate, wall_clock
-from . import runtime
+from . import runtime, supervise
 from .journal import CheckpointJournal, UnitRecord, plan_fingerprint
 from .plan import ShardPlan, WorkUnit
+from .runtime import SupervisionPolicy
 
 
 @dataclass
@@ -82,7 +104,7 @@ def _capture_unit(unit: WorkUnit, capture: bool) -> UnitRecord:
     """
     start = wall_clock()
     if not capture:
-        return UnitRecord(index=unit.index, result=unit.run(),
+        return UnitRecord(index=unit.index, result=runtime.run_unit(unit),
                           wall_s=wall_clock() - start)
     saved_enabled = OBS.enabled
     saved_metrics, saved_tracer = OBS.metrics, OBS.tracer
@@ -90,7 +112,7 @@ def _capture_unit(unit: WorkUnit, capture: bool) -> UnitRecord:
     OBS.tracer = Tracer()
     OBS.enabled = True
     try:
-        result = unit.run()
+        result = runtime.run_unit(unit)
     finally:
         metrics = OBS.metrics.dump()
         spans = [span.to_record() for span in OBS.tracer.finished]
@@ -105,15 +127,24 @@ def _capture_unit(unit: WorkUnit, capture: bool) -> UnitRecord:
     )
 
 
-def _shard_worker(task: _ShardTask) -> _ShardOutcome:
+def _shard_worker(
+    task: _ShardTask, heartbeat: Callable[[], None] | None = None
+) -> _ShardOutcome:
     """Run one shard in a worker process (also used for serial retry).
 
-    Module-level so the pool can pickle it by reference.
+    Module-level so the pool can pickle it by reference.  ``heartbeat``
+    is the supervisor's per-unit progress tick — called after every
+    completed unit so the parent can tell a busy worker from a hung
+    one; serial callers leave it unset.
     """
     OBS.quarantine_fork()
+    tick = heartbeat if heartbeat is not None else (lambda: None)
     if task.per_unit:
         start = wall_clock()
-        records = [_capture_unit(unit, task.capture) for unit in task.units]
+        records = []
+        for unit in task.units:
+            records.append(_capture_unit(unit, task.capture))
+            tick()
         outcome = _ShardOutcome(
             shard_index=task.shard_index,
             results=[(record.index, record.result) for record in records],
@@ -133,7 +164,8 @@ def _shard_worker(task: _ShardTask) -> _ShardOutcome:
             "labels", [unit.describe() for unit in task.units]
         )
         for unit in task.units:
-            results.append((unit.index, unit.run()))
+            results.append((unit.index, runtime.run_unit(unit)))
+            tick()
     outcome = _ShardOutcome(
         shard_index=task.shard_index,
         results=results,
@@ -158,11 +190,16 @@ def execute(
     """Run every unit of ``plan``; returns results in unit order.
 
     ``jobs=1`` runs serially in-process with no pool at all;
-    ``jobs>1`` dispatches chunked shards to a process pool.  Both paths
-    return the same bytes.  ``timeout_s`` bounds each shard's wait on
-    the pool (serial re-attempts are not timed — the parent cannot
-    interrupt itself); ``retries`` bounds re-attempts per shard before
-    :class:`~repro.errors.ShardError` is raised.
+    ``jobs>1`` dispatches chunked shards to supervised worker
+    processes.  Both paths return the same bytes.  ``timeout_s``
+    bounds each shard's time on the pool (serial re-attempts are not
+    timed — the parent cannot interrupt itself); ``retries`` bounds
+    re-attempts per shard before :class:`~repro.errors.ShardError` is
+    raised — or, when the installed
+    :class:`~repro.exec.runtime.SupervisionPolicy` enables
+    ``quarantine``, before the failing units are quarantined (result
+    ``None`` plus an incident in the runtime ledger) and the campaign
+    completes partially.
 
     When a checkpoint policy is installed
     (:mod:`repro.exec.runtime`), the call journals every completed
@@ -179,6 +216,7 @@ def execute(
         return []
     capture = OBS.enabled
     policy = runtime.checkpoint_policy()
+    supervision = runtime.supervision_policy()
     with OBS.span("exec.run", jobs=jobs, units=len(plan)):
         if capture:
             OBS.counter_inc("exec.units", len(plan))
@@ -199,9 +237,12 @@ def execute(
                     journal_path=runtime.claim_journal_path(),
                     resume=policy.resume,
                     capture=capture,
+                    supervision=supervision,
                 )
             if jobs == 1 or len(plan) == 1:
-                return _run_serial(plan.units, retries=retries)
+                return _run_serial(
+                    plan.units, retries=retries, supervision=supervision
+                )
             shards = plan.shards(jobs, chunk_size)
             tasks = [
                 _ShardTask(shard_index=i, units=shard, capture=capture)
@@ -210,16 +251,26 @@ def execute(
             if capture:
                 OBS.counter_inc("exec.shards", len(tasks))
             try:
-                pool = ProcessPoolExecutor(max_workers=min(jobs, len(tasks)))
-            except (OSError, ImportError, RuntimeError, BrokenExecutor) as error:
-                # No pool at all: run everything serially in-process.  The
-                # downgrade itself is not a shard failure, so it does not
-                # count against the retry budget — units keep theirs.
+                outcomes, failures = supervise.run_supervised(
+                    tasks,
+                    jobs=min(jobs, len(tasks)),
+                    timeout_s=timeout_s,
+                    policy=supervision,
+                    worker_fn=_shard_worker,
+                )
+            except PoolUnavailable as error:
+                # No pool at all: run everything serially in-process.
+                # The downgrade itself is not a shard failure, so it
+                # does not count against the retry budget.
                 _note_fallback(error)
-                return _run_serial(plan.units, retries=retries)
-            outcomes, failures = _dispatch(pool, tasks, timeout_s)
+                return _run_serial(
+                    plan.units, retries=retries, supervision=supervision
+                )
+            _note_failures(failures, timeout_s)
             for task, cause in failures:
-                outcomes[task.shard_index] = _reattempt(task, retries, cause)
+                outcomes[task.shard_index] = _reattempt(
+                    task, retries, cause, supervision
+                )
             _merge_observability(outcomes, capture)
             return _merge_results(plan, outcomes)
         finally:
@@ -242,6 +293,7 @@ def _run_checkpointed(
     journal_path: str,
     resume: bool,
     capture: bool,
+    supervision: SupervisionPolicy,
 ) -> list[Any]:
     """Execute with an append-only unit journal and optional resume.
 
@@ -250,6 +302,14 @@ def _run_checkpointed(
     unit-index order — so an interrupted-then-resumed campaign folds
     resumed and freshly-run units into exactly the metrics state an
     uninterrupted run produces, whatever ``jobs`` was either time.
+
+    A journal *write* failure (ENOSPC, I/O error) does not abort the
+    campaign: the journal degrades to an in-memory bank, the run
+    completes, and the degradation lands in the runtime incident
+    ledger so the CLI can exit with its documented degraded code.  A
+    :class:`~repro.errors.SimulatedFailure` (chaos hard-crash) is
+    treated exactly like SIGINT: the journal is closed and
+    :class:`~repro.errors.CampaignInterrupted` points at ``--resume``.
     """
     journal = CheckpointJournal(journal_path, plan_fingerprint(plan), len(plan))
     done = journal.load_resume() if resume else {}
@@ -270,19 +330,45 @@ def _run_checkpointed(
     remaining = [unit for unit in plan.units if unit.index not in records]
 
     def complete(record: UnitRecord) -> None:
-        journal.append(record)
+        try:
+            journal.append(record)
+        except JournalWriteError as error:
+            journal.degrade(error)
+            runtime.note_incident(
+                runtime.Incident(
+                    kind="journal-degraded",
+                    failure_class=error.failure_class,
+                    detail={
+                        "journal": journal_path,
+                        "failure_class": error.failure_class,
+                        "error": str(error),
+                    },
+                )
+            )
+            if capture:
+                OBS.counter_inc(
+                    "exec.journal_failures",
+                    failure_class=error.failure_class,
+                )
+                OBS.event(
+                    "exec.journal-degraded",
+                    journal=journal_path,
+                    failure_class=error.failure_class,
+                )
         records[record.index] = record
 
     try:
         if jobs == 1 or len(remaining) <= 1:
             for unit in remaining:
-                complete(_capture_unit(unit, capture_units))
+                complete(
+                    _attempt_unit(unit, capture_units, retries, supervision)
+                )
         elif remaining:
             _dispatch_checkpointed(
                 remaining, plan, jobs, timeout_s, retries, chunk_size,
-                capture_units, complete,
+                capture_units, complete, supervision,
             )
-    except KeyboardInterrupt as error:
+    except (KeyboardInterrupt, SimulatedFailure) as error:
         journal.close()
         raise CampaignInterrupted(
             journal_path, len(records), len(plan)
@@ -306,7 +392,42 @@ def _run_checkpointed(
                 OBS.metrics.merge(record.metrics)
             for span_record in record.spans:
                 OBS.tracer.adopt_record(span_record)
+    # Quarantined units surface from the *records* (not at quarantine
+    # time) so a resume that banked a quarantine record re-reports it.
+    for index in sorted(records):
+        if records[index].failure is not None:
+            _note_quarantine(records[index].failure)
     return [records[index].result for index in range(len(plan))]
+
+
+def _attempt_unit(
+    unit: WorkUnit,
+    capture: bool,
+    retries: int,
+    supervision: SupervisionPolicy,
+) -> UnitRecord:
+    """Checkpoint-mode serial unit execution with bounded retries.
+
+    Mirrors the pool path's contract: every failure is classified,
+    each re-attempt round records its simulated backoff, and retry
+    exhaustion either raises :class:`~repro.errors.ShardError` or —
+    under a quarantine policy — returns a quarantine record so the
+    campaign completes partially.
+    """
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            return _capture_unit(unit, capture)
+        except Exception as error:
+            _note_failures([(unit, error)], None)
+            if attempts > retries:
+                if supervision.quarantine:
+                    return _quarantine_record(unit, error)
+                raise ShardError(
+                    unit.describe(), attempts, repr(error)
+                ) from error
+            _note_retry(unit.describe(), attempts, supervision)
 
 
 def _dispatch_checkpointed(
@@ -318,13 +439,14 @@ def _dispatch_checkpointed(
     chunk_size: int | None,
     capture: bool,
     complete: "Callable[[UnitRecord], None]",
+    supervision: SupervisionPolicy,
 ) -> None:
     """Pool-dispatch the remaining units with per-unit journalling.
 
-    Each shard's unit records are journalled the moment its future
-    resolves, so progress survives a crash at any point of the
-    campaign.  Failed shards fall back to captured serial re-attempts,
-    like the non-checkpointed engine.
+    Each shard's unit records are journalled the moment its outcome
+    lands, so progress survives a crash at any point of the campaign.
+    Failed shards fall back to captured serial re-attempts, like the
+    non-checkpointed engine.
     """
     size = plan.chunk_size(jobs, chunk_size)
     shards = [
@@ -335,7 +457,7 @@ def _dispatch_checkpointed(
         _ShardTask(shard_index=i, units=shard, capture=capture, per_unit=True)
         for i, shard in enumerate(shards)
     ]
-    if capture:
+    if OBS.enabled:
         OBS.counter_inc("exec.shards", len(tasks))
 
     def on_outcome(outcome: _ShardOutcome) -> None:
@@ -343,35 +465,51 @@ def _dispatch_checkpointed(
             complete(record)
 
     try:
-        pool = ProcessPoolExecutor(max_workers=min(jobs, len(tasks)))
-    except (OSError, ImportError, RuntimeError, BrokenExecutor) as error:
+        _, failures = supervise.run_supervised(
+            tasks,
+            jobs=min(jobs, len(tasks)),
+            timeout_s=timeout_s,
+            policy=supervision,
+            worker_fn=_shard_worker,
+            on_outcome=on_outcome,
+        )
+    except PoolUnavailable as error:
         _note_fallback(error)
         for shard in shards:
             for unit in shard:
-                complete(_capture_unit(unit, capture))
+                complete(_attempt_unit(unit, capture, retries, supervision))
         return
-    _, failures = _dispatch(pool, tasks, timeout_s, on_outcome=on_outcome)
+    _note_failures(failures, timeout_s)
     for task, cause in failures:
-        for record in _reattempt_captured(task, retries, cause):
+        for record in _reattempt_captured(task, retries, cause, supervision):
             complete(record)
 
 
 def _reattempt_captured(
-    task: _ShardTask, retries: int, cause: BaseException
+    task: _ShardTask,
+    retries: int,
+    cause: BaseException,
+    supervision: SupervisionPolicy,
 ) -> list[UnitRecord]:
     """Checkpoint-mode serial re-attempt: per-unit captured records."""
     attempts = 1  # the pool attempt
     while attempts <= retries:
+        _note_retry(task.describe(), attempts, supervision)
         attempts += 1
-        if OBS.enabled:
-            OBS.counter_inc("exec.retries")
-            OBS.event(
-                "exec.retry", shard=task.describe(), attempt=attempts
-            )
         try:
             return [_capture_unit(unit, task.capture) for unit in task.units]
         except Exception as error:
             cause = error
+            _note_failures([(task, error)], None)
+    if supervision.quarantine:
+        records = []
+        for unit in task.units:
+            try:
+                records.append(_capture_unit(unit, task.capture))
+            except Exception as error:
+                _note_failures([(unit, error)], None)
+                records.append(_quarantine_record(unit, error))
+        return records
     raise ShardError(task.describe(), attempts, repr(cause)) from cause
 
 
@@ -380,109 +518,144 @@ def _reattempt_captured(
 # ----------------------------------------------------------------------
 
 
-def _run_serial(units: Sequence[WorkUnit], retries: int = 0) -> list[Any]:
+def _run_serial(
+    units: Sequence[WorkUnit],
+    retries: int = 0,
+    supervision: SupervisionPolicy | None = None,
+) -> list[Any]:
     """Run units in order in the current process.
 
     Metrics and spans land directly in the parent registry, so no
     merge step is needed.  Failures follow the pool contract: each
-    failing unit is re-attempted up to ``retries`` times with the same
-    ``exec.retries`` counter and ``exec.retry`` events the pool path
-    emits, then raises :class:`~repro.errors.ShardError` — so a
-    ``jobs=1`` run and a ``jobs=N`` run produce the same metrics for
-    the same flaky plan.
+    failing unit is classified and re-attempted up to ``retries``
+    times with the same ``exec.retries`` counter and ``exec.retry``
+    events the pool path emits, then raises
+    :class:`~repro.errors.ShardError` — or quarantines the unit under
+    a quarantine policy — so a ``jobs=1`` run and a ``jobs=N`` run
+    produce the same results for the same flaky plan.
     """
+    if supervision is None:
+        supervision = runtime.supervision_policy()
     results: dict[int, Any] = {}
     for unit in units:
         attempts = 0
         while True:
             attempts += 1
             try:
-                results[unit.index] = unit.run()
+                results[unit.index] = runtime.run_unit(unit)
                 break
             except Exception as error:
+                _note_failures([(unit, error)], None)
                 if attempts > retries:
+                    if supervision.quarantine:
+                        results[unit.index] = None
+                        _note_quarantine(
+                            _quarantine_record(unit, error).failure
+                        )
+                        break
                     raise ShardError(
                         unit.describe(), attempts, repr(error)
                     ) from error
-                if OBS.enabled:
-                    OBS.counter_inc("exec.retries")
-                    OBS.event(
-                        "exec.retry",
-                        shard=unit.describe(),
-                        attempt=attempts + 1,
-                    )
+                _note_retry(unit.describe(), attempts, supervision)
     return [results[index] for index in range(len(units))]
 
 
 # ----------------------------------------------------------------------
-# Parallel dispatch
+# Failure accounting (the typed taxonomy's metrics surface)
 # ----------------------------------------------------------------------
 
 
-def _dispatch(
-    pool: ProcessPoolExecutor,
-    tasks: list[_ShardTask],
+def _note_failures(
+    failures: "Sequence[tuple[Any, BaseException]]",
     timeout_s: float | None,
-    on_outcome: "Callable[[_ShardOutcome], None] | None" = None,
-) -> tuple[dict[int, _ShardOutcome], list[tuple[_ShardTask, BaseException]]]:
-    """Submit every shard to the pool; collect outcomes and failures.
+) -> None:
+    """Classify and count every failure the engine is about to survive.
 
-    A pool that breaks before everything is submitted downgrades the
-    unsubmitted remainder to the failure list, which the caller
-    re-attempts serially.
+    Each failure increments ``exec.failures`` labelled with its
+    :func:`repro.errors.failure_class`; timeouts, hangs, and crashes
+    additionally keep their dedicated counters and trace events so
+    existing dashboards stay meaningful.
     """
-    futures: list[tuple[_ShardTask, Future]] = []
-    try:
-        for task in tasks:
-            futures.append((task, pool.submit(_shard_worker, task)))
-    except (OSError, BrokenExecutor) as error:
-        _note_fallback(error)
-        pool.shutdown(wait=False, cancel_futures=True)
-        submitted = {task.shard_index for task, _ in futures}
-        outcomes, failures = _collect(futures, timeout_s, on_outcome)
-        failures.extend(
-            (task, error)
-            for task in tasks
-            if task.shard_index not in submitted
+    if not OBS.enabled:
+        return
+    for task, cause in failures:
+        OBS.counter_inc("exec.failures", failure_class=failure_class(cause))
+        if isinstance(cause, TimeoutError):
+            OBS.counter_inc("exec.timeouts")
+            OBS.event(
+                "exec.timeout", shard=task.describe(), timeout_s=timeout_s
+            )
+        elif isinstance(cause, WorkerHang):
+            OBS.counter_inc("exec.hangs")
+            OBS.event("exec.hang", shard=task.describe())
+        elif isinstance(cause, WorkerCrash):
+            OBS.counter_inc("exec.crashes")
+            OBS.event(
+                "exec.crash",
+                shard=task.describe(),
+                exitcode=cause.exitcode,
+            )
+
+
+def _note_retry(
+    label: str, failures_so_far: int, supervision: SupervisionPolicy
+) -> None:
+    """Record one re-attempt round and its *simulated* backoff.
+
+    The backoff value comes from the resilience layer's bounded
+    exponential schedule — it is recorded (``exec.backoff_s``), never
+    slept, so retry pacing is byte-reproducible and free.
+    """
+    if not OBS.enabled:
+        return
+    backoff = supervision.backoff.backoff_s(failures_so_far)
+    OBS.counter_inc("exec.retries")
+    OBS.histogram_record("exec.backoff_s", backoff)
+    OBS.event(
+        "exec.retry",
+        shard=label,
+        attempt=failures_so_far + 1,
+        backoff_s=backoff,
+    )
+
+
+def _quarantine_record(unit: WorkUnit, cause: BaseException) -> UnitRecord:
+    """The structured partial-result record for one poisoned unit.
+
+    Deliberately free of attempt counts and timings so the record —
+    and the manifest partial section built from it — is identical
+    whether the unit was quarantined serially, on the pool, or on a
+    resumed run.
+    """
+    cls = failure_class(cause)
+    return UnitRecord(
+        index=unit.index,
+        result=None,
+        failure={
+            "unit": unit.index,
+            "label": unit.describe(),
+            "failure_class": cls,
+            "error": repr(cause),
+        },
+    )
+
+
+def _note_quarantine(failure: dict[str, Any]) -> None:
+    """Ledger one quarantined unit (incident + counter + event)."""
+    runtime.note_incident(
+        runtime.Incident(
+            kind="quarantined-unit",
+            failure_class=failure["failure_class"],
+            detail=dict(failure),
         )
-        return outcomes, failures
-    outcomes, failures = _collect(futures, timeout_s, on_outcome)
-    # Abandon rather than join: a timed-out worker may still be busy,
-    # and the serial re-attempt must not wait for it.
-    pool.shutdown(wait=not failures, cancel_futures=bool(failures))
-    return outcomes, failures
-
-
-def _collect(
-    futures: list[tuple[_ShardTask, Future]],
-    timeout_s: float | None,
-    on_outcome: "Callable[[_ShardOutcome], None] | None" = None,
-) -> tuple[dict[int, _ShardOutcome], list[tuple[_ShardTask, BaseException]]]:
-    """Wait on each shard's future, applying the per-shard timeout.
-
-    ``on_outcome`` fires as each shard's outcome lands — the
-    checkpoint path uses it to journal completed units immediately
-    rather than after the whole campaign.
-    """
-    outcomes: dict[int, _ShardOutcome] = {}
-    failures: list[tuple[_ShardTask, BaseException]] = []
-    for task, future in futures:
-        try:
-            outcome = future.result(timeout=timeout_s)
-            outcomes[task.shard_index] = outcome
-            if on_outcome is not None:
-                on_outcome(outcome)
-        except TimeoutError as error:
-            if OBS.enabled:
-                OBS.counter_inc("exec.timeouts")
-                OBS.event(
-                    "exec.timeout", shard=task.describe(),
-                    timeout_s=timeout_s,
-                )
-            failures.append((task, error))
-        except Exception as error:  # unit raised, or the pool broke
-            failures.append((task, error))
-    return outcomes, failures
+    )
+    if OBS.enabled:
+        OBS.counter_inc("exec.quarantined_units")
+        OBS.event(
+            "exec.quarantine",
+            unit=failure["label"],
+            failure_class=failure["failure_class"],
+        )
 
 
 def _note_fallback(error: BaseException) -> None:
@@ -493,22 +666,23 @@ def _note_fallback(error: BaseException) -> None:
 
 
 def _reattempt(
-    task: _ShardTask, retries: int, cause: BaseException
+    task: _ShardTask,
+    retries: int,
+    cause: BaseException,
+    supervision: SupervisionPolicy,
 ) -> _ShardOutcome:
     """Re-run a failed shard serially, up to ``retries`` more times."""
     attempts = 1  # the pool attempt
     while attempts <= retries:
+        _note_retry(task.describe(), attempts, supervision)
         attempts += 1
-        if OBS.enabled:
-            OBS.counter_inc("exec.retries")
-            OBS.event(
-                "exec.retry", shard=task.describe(), attempt=attempts
-            )
         try:
             # Serial re-attempt in the parent: metrics/spans land
             # directly in the live registry, so strip capture.
             start = wall_clock()
-            results = [(unit.index, unit.run()) for unit in task.units]
+            results = [
+                (unit.index, runtime.run_unit(unit)) for unit in task.units
+            ]
             return _ShardOutcome(
                 shard_index=task.shard_index,
                 results=results,
@@ -516,6 +690,22 @@ def _reattempt(
             )
         except Exception as error:
             cause = error
+            _note_failures([(task, error)], None)
+    if supervision.quarantine:
+        start = wall_clock()
+        results = []
+        for unit in task.units:
+            try:
+                results.append((unit.index, runtime.run_unit(unit)))
+            except Exception as error:
+                _note_failures([(unit, error)], None)
+                results.append((unit.index, None))
+                _note_quarantine(_quarantine_record(unit, error).failure)
+        return _ShardOutcome(
+            shard_index=task.shard_index,
+            results=results,
+            wall_s=wall_clock() - start,
+        )
     raise ShardError(task.describe(), attempts, repr(cause)) from cause
 
 

@@ -32,7 +32,8 @@ import pickle
 from dataclasses import dataclass, field
 from typing import Any
 
-from ..errors import CheckpointError
+from ..errors import CheckpointError, JournalWriteError
+from . import runtime
 from .plan import ShardPlan
 
 #: Bumped when the journal line format changes incompatibly.
@@ -41,13 +42,21 @@ JOURNAL_VERSION = 1
 
 @dataclass
 class UnitRecord:
-    """One completed unit: its result plus captured observability."""
+    """One completed unit: its result plus captured observability.
+
+    ``failure`` is set only for *quarantined* units (the unit exhausted
+    its bounded retries under a quarantine-enabled supervision policy):
+    the result is ``None`` and ``failure`` carries the unit's label,
+    failure class, attempt count, and error text — the structured
+    partial-result record that lands in the run manifest.
+    """
 
     index: int
     result: Any
     metrics: dict[str, Any] | None = None
     spans: list[dict[str, Any]] = field(default_factory=list)
     wall_s: float = 0.0
+    failure: dict[str, Any] | None = None
 
 
 def plan_fingerprint(plan: ShardPlan) -> str:
@@ -74,6 +83,10 @@ class CheckpointJournal:
         self.total = total
         self.units_written = 0
         self.bytes_written = 0
+        #: Set when a write failure degraded the journal to a pure
+        #: in-memory bank (the engine keeps completing units; only
+        #: crash-resume durability is lost for the rest of the call).
+        self.degraded_by: JournalWriteError | None = None
         self._valid_bytes = 0
         self._handle = None
 
@@ -117,16 +130,12 @@ class CheckpointJournal:
                 header_seen = True
                 continue
             records[int(doc["index"])] = self._decode_unit(doc, position)
-        if tail is not None:
-            # One torn final line is the expected crash artefact; it is
-            # simply re-run.  (If even the header was torn, there is
-            # nothing to resume.)
-            if not header_seen:
-                return {}
         if not header_seen:
-            raise CheckpointError(
-                f"{self.path}: journal has content but no header"
-            )
+            # Nothing usable: a torn header (the crash landed mid-first
+            # -write), or a file of blank lines.  Either way there is
+            # nothing to resume — the caller starts fresh.
+            self._valid_bytes = 0
+            return {}
         return records
 
     def _check_header(self, doc: dict[str, Any]) -> None:
@@ -170,6 +179,7 @@ class CheckpointJournal:
             metrics=payload["metrics"],
             spans=payload["spans"],
             wall_s=float(payload.get("wall_s", 0.0)),
+            failure=payload.get("failure"),
         )
 
     # ------------------------------------------------------------------
@@ -203,7 +213,15 @@ class CheckpointJournal:
         self._handle.seek(0, os.SEEK_END)
 
     def append(self, record: UnitRecord) -> None:
-        """Durably append one completed unit."""
+        """Durably append one completed unit.
+
+        Raises :class:`~repro.errors.JournalWriteError` when the OS
+        write fails (ENOSPC, I/O error) — the engine's cue to
+        :meth:`degrade` the journal and keep the campaign going from
+        an in-memory bank.
+        """
+        if self.degraded_by is not None:
+            return
         if self._handle is None:
             raise CheckpointError(
                 f"{self.path}: journal not started before append"
@@ -213,6 +231,7 @@ class CheckpointJournal:
             "metrics": record.metrics,
             "spans": record.spans,
             "wall_s": record.wall_s,
+            "failure": record.failure,
         }
         blob = base64.b64encode(
             pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
@@ -232,10 +251,36 @@ class CheckpointJournal:
     def _write_line(self, doc: dict[str, Any]) -> None:
         line = (json.dumps(doc, separators=(",", ":")) + "\n").encode("utf-8")
         assert self._handle is not None
-        self._handle.write(line)
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        injector = runtime.fault_injector()
+        try:
+            if injector is not None:
+                # May raise OSError (ENOSPC/EIO simulation), tear the
+                # line by writing a prefix and raising SimulatedFailure,
+                # or wrap the handle in an OSError-raising file proxy.
+                injector.on_journal_write(self, line)
+            self._handle.write(line)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except OSError as error:
+            raise JournalWriteError(self.path, error) from error
         self.bytes_written += len(line)
+
+    def degrade(self, error: JournalWriteError) -> None:
+        """Abandon the on-disk journal after a write failure.
+
+        Subsequent :meth:`append` calls become no-ops; the engine banks
+        records in memory instead.  The broken handle is closed
+        best-effort (the close itself may fail on a sick filesystem).
+        """
+        self.degraded_by = error
+        handle, self._handle = self._handle, None
+        if handle is not None:
+            try:
+                handle.close()
+            except OSError:
+                # The filesystem is already failing; nothing is lost —
+                # the journal is abandoned either way.
+                self.degraded_by = error
 
     def close(self) -> None:
         """Close the append handle (idempotent)."""

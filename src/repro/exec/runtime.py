@@ -1,11 +1,18 @@
-"""Process-global checkpoint policy for :func:`repro.exec.execute`.
+"""Process-global runtime policies for :func:`repro.exec.execute`.
 
-Checkpointing is an *operational* concern — the CLI (or a test
-harness) decides it, not the experiment code.  Experiments call
-``execute(plan, jobs=jobs)`` exactly as before; when a policy is
-installed here, every ``execute`` call transparently journals its
-units under the policy's directory and, on ``resume``, completes only
-the missing ones.
+Checkpointing, supervision, and fault injection are *operational*
+concerns — the CLI (or a test harness) decides them, not the
+experiment code.  Experiments call ``execute(plan, jobs=jobs)``
+exactly as before; when policies are installed here, every ``execute``
+call transparently picks them up:
+
+* a :class:`CheckpointPolicy` journals completed units under a
+  directory and, on ``resume``, completes only the missing ones;
+* a :class:`SupervisionPolicy` tunes the supervised worker pool
+  (heartbeat hang detection, simulated backoff pacing, poison-unit
+  quarantine);
+* a fault injector (:mod:`repro.chaos`) intercepts the unit and
+  journal choke points to inject deterministic failures.
 
 Each ``execute`` call in a run claims the next journal path in a
 deterministic sequence (``journal-000.jsonl``, ``journal-001.jsonl``,
@@ -13,16 +20,25 @@ deterministic sequence (``journal-000.jsonl``, ``journal-001.jsonl``,
 baseline) checkpoints each independently, and a resumed process —
 which replays the same ``execute`` calls in the same order — pairs
 every call back up with its own journal.
+
+This module is also the engine's **incident ledger**: quarantined
+units and journal degradations are recorded here so the manifest
+layer can attach a structured partial-result section and the CLI can
+honour its ``EXIT_DEGRADED`` exit-code contract.  (This module and the
+``repro.obs.OBS`` singleton are the only whitelisted holders of
+cross-unit process state — see the RL007 lint rule.)
 """
 
 from __future__ import annotations
 
 import os
 from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Iterator
+from dataclasses import dataclass, field
+from typing import Any, Iterator
 
 from ..errors import CheckpointError
+from ..resilience.retry import RetryPolicy
+from ..units import milliseconds
 
 
 @dataclass(frozen=True)
@@ -73,3 +89,149 @@ def checkpointing(directory: str, resume: bool = False) -> Iterator[None]:
         yield
     finally:
         set_checkpoint_policy(previous)
+
+
+# ----------------------------------------------------------------------
+# Supervision policy (heartbeats, backoff pacing, quarantine)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """How the supervised pool polices its workers.
+
+    ``hang_timeout_s`` is how long a worker may go without a heartbeat
+    tick (one per completed unit) before it is killed and its shard
+    re-attempted; ``None`` disables hang detection.  ``poll_interval_s``
+    paces the supervisor's result/health loop.  ``backoff`` is the
+    *simulated* exponential-backoff schedule recorded per re-attempt
+    (reusing the resilience layer's bounded-exponential contract —
+    nothing sleeps).  ``quarantine`` turns exhausted-retry failures
+    into per-unit quarantine records instead of a fatal
+    :class:`~repro.errors.ShardError`.
+    """
+
+    hang_timeout_s: float | None = 120.0
+    poll_interval_s: float = milliseconds(20)
+    backoff: RetryPolicy = field(default_factory=RetryPolicy)
+    quarantine: bool = False
+
+    def __post_init__(self) -> None:
+        if self.hang_timeout_s is not None and self.hang_timeout_s <= 0.0:
+            raise CheckpointError("hang_timeout_s must be positive or None")
+        if self.poll_interval_s <= 0.0:
+            raise CheckpointError("poll_interval_s must be positive")
+
+
+#: The default when nothing is installed: supervision on, quarantine off.
+DEFAULT_SUPERVISION = SupervisionPolicy()
+
+_supervision: SupervisionPolicy | None = None
+
+
+def set_supervision_policy(policy: SupervisionPolicy | None) -> None:
+    """Install (or clear) the supervision policy."""
+    global _supervision
+    _supervision = policy
+
+
+def supervision_policy() -> SupervisionPolicy:
+    """The installed policy, or :data:`DEFAULT_SUPERVISION`."""
+    return _supervision if _supervision is not None else DEFAULT_SUPERVISION
+
+
+@contextmanager
+def supervised(policy: SupervisionPolicy) -> Iterator[None]:
+    """Install a supervision policy for a block, restoring the old one."""
+    previous = _supervision
+    set_supervision_policy(policy)
+    try:
+        yield
+    finally:
+        set_supervision_policy(previous)
+
+
+# ----------------------------------------------------------------------
+# Fault injection (the repro.chaos hook points)
+# ----------------------------------------------------------------------
+
+_injector: Any = None
+
+
+def install_fault_injector(injector: Any) -> None:
+    """Install (or clear, with ``None``) the process-global injector.
+
+    The injector is duck-typed — ``on_unit(unit)`` fires before every
+    work unit runs (in the parent *and*, via fork inheritance, in
+    every worker), and ``on_journal_write(journal, line)`` fires
+    before every journal line hits the disk — so the exec layer never
+    imports :mod:`repro.chaos`.
+    """
+    global _injector
+    _injector = injector
+
+
+def fault_injector() -> Any:
+    """The installed fault injector, if any."""
+    return _injector
+
+
+@contextmanager
+def injected(injector: Any) -> Iterator[None]:
+    """Install a fault injector for a block, restoring the old one."""
+    previous = _injector
+    install_fault_injector(injector)
+    try:
+        yield
+    finally:
+        install_fault_injector(previous)
+
+
+def run_unit(unit: Any) -> Any:
+    """The single unit-execution choke point.
+
+    Every engine path — serial, pool worker, re-attempt — runs units
+    through here, so an installed fault injector sees each execution
+    exactly once however the unit was dispatched.
+    """
+    if _injector is not None:
+        _injector.on_unit(unit)
+    return unit.run()
+
+
+# ----------------------------------------------------------------------
+# Incident ledger (quarantine + journal degradation)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One survivable runtime incident the run completed *around*.
+
+    ``kind`` is ``"quarantined-unit"`` or ``"journal-degraded"``;
+    ``failure_class`` is the :data:`repro.errors.FAILURE_CLASSES`
+    entry; ``detail`` carries kind-specific fields (unit index/label,
+    journal path, attempt counts).
+    """
+
+    kind: str
+    failure_class: str
+    detail: dict[str, Any]
+
+
+_incidents: list[Incident] = []
+
+
+def note_incident(incident: Incident) -> None:
+    """Append one incident to the ledger."""
+    _incidents.append(incident)
+
+
+def incidents() -> tuple[Incident, ...]:
+    """Every incident recorded since the last :func:`clear_incidents`."""
+    return tuple(_incidents)
+
+
+def clear_incidents() -> None:
+    """Reset the ledger (the CLI does this per invocation)."""
+    _incidents.clear()

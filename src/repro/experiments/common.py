@@ -17,6 +17,7 @@ from typing import Any, Callable
 from ..cpu.assembler import assemble
 from ..cpu.core import Core
 from ..cpu.programs import nop_fill, vector_fill
+from ..exec import runtime as exec_runtime
 from ..obs import OBS, RunManifest, SectionTimer
 from ..soc.board import Board
 from ..soc.bootrom import BootMedia
@@ -160,6 +161,12 @@ def manifested(
     ``experiment.<name>`` span and a :class:`~repro.obs.RunManifest` is
     recorded with the call's bound parameters, wall-clock timing, and a
     headline summary.
+
+    Quarantined work units (a quarantine-enabled
+    :class:`~repro.exec.SupervisionPolicy` turned poison units into
+    partial results) surface as the manifest's ``partial`` section —
+    the runtime incident ledger is cleared at run start so the section
+    reflects only this run's incidents.
     """
 
     def decorate(run_fn: Callable) -> Callable:
@@ -169,6 +176,7 @@ def manifested(
         def wrapper(*args: Any, **kwargs: Any) -> Any:
             if not OBS.enabled:
                 return run_fn(*args, **kwargs)
+            exec_runtime.clear_incidents()
             bound = signature.bind_partial(*args, **kwargs)
             bound.apply_defaults()
             params = {k: _plain(v) for k, v in bound.arguments.items()}
@@ -188,6 +196,7 @@ def manifested(
                     phases=timer.phases(),
                     headline=_plain(summarise(result)),
                     metrics=OBS.metrics.snapshot(),
+                    partial=_partial_section(),
                 )
             )
             return result
@@ -195,3 +204,25 @@ def manifested(
         return wrapper
 
     return decorate
+
+
+def _partial_section() -> dict[str, Any] | None:
+    """The manifest ``partial`` section from the run's incident ledger.
+
+    Only quarantined units are listed — a journal degradation loses
+    durability, not results, and is surfaced through the CLI exit-code
+    contract instead (a timing accident must not change the manifest
+    fingerprint).  Entries sort by unit index so the section is
+    identical whatever dispatch order produced the incidents.
+    """
+    quarantined = sorted(
+        (
+            dict(incident.detail)
+            for incident in exec_runtime.incidents()
+            if incident.kind == "quarantined-unit"
+        ),
+        key=lambda entry: entry.get("unit", 0),
+    )
+    if not quarantined:
+        return None
+    return {"quarantined": quarantined}

@@ -91,6 +91,10 @@ def validate_manifest(doc: dict[str, Any]) -> dict[str, Any]:
         problems.append("headline must be an object")
     if "metrics" in doc and not isinstance(doc["metrics"], dict):
         problems.append("metrics must be an object")
+    # "partial" is optional: present only on runs that quarantined
+    # work units (docs/robustness.md).
+    if "partial" in doc and not isinstance(doc["partial"], dict):
+        problems.append("partial must be an object when present")
     phases = doc.get("phases", [])
     if not isinstance(phases, list):
         problems.append("phases must be a list")

@@ -36,6 +36,15 @@ class RunManifest:
     ``phases`` is a list of ``{"name": ..., "wall_s": ...}`` dicts (see
     :class:`~repro.obs.timing.SectionTimer`); ``headline`` carries the
     few numbers a human would quote; ``metrics`` is a registry snapshot.
+
+    ``partial`` is set only when the run completed *around* quarantined
+    work units (see ``docs/robustness.md``): it carries a
+    ``{"quarantined": [...]}`` section listing each lost unit's index,
+    label, failure class, and error text.  The section is deliberately
+    free of timings and attempt counts, so it is part of the
+    fingerprint — a partial run must never compare equal to a complete
+    one, but the *same* partial run must fingerprint identically
+    whatever ``--jobs`` was.
     """
 
     kind: str
@@ -46,6 +55,7 @@ class RunManifest:
     phases: list[dict[str, Any]] = field(default_factory=list)
     headline: dict[str, Any] = field(default_factory=dict)
     metrics: dict[str, Any] = field(default_factory=dict)
+    partial: dict[str, Any] | None = None
     schema_version: int = SCHEMA_VERSION
 
     def to_dict(self, include_timings: bool = True) -> dict[str, Any]:
@@ -59,7 +69,7 @@ class RunManifest:
             phases = [
                 {k: v for k, v in p.items() if k != "wall_s"} for p in phases
             ]
-        return {
+        doc = {
             "schema_version": self.schema_version,
             "kind": self.kind,
             "name": self.name,
@@ -70,6 +80,9 @@ class RunManifest:
             "headline": _jsonable(self.headline),
             "metrics": _jsonable(self.metrics),
         }
+        if self.partial:
+            doc["partial"] = _jsonable(self.partial)
+        return doc
 
     def fingerprint(self) -> str:
         """SHA-256 over the timing-free, topology-free view.

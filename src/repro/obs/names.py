@@ -97,10 +97,25 @@ METRIC_NAMES: frozenset[str] = frozenset(
         "exec.timeouts",
         "exec.fallbacks",
         "exec.shard_wall_s",
+        # Supervised runtime: per-class failure accounting (labelled
+        # failure_class=<repro.errors.FAILURE_CLASSES>), hang/crash
+        # supervision, simulated backoff, and poison-unit quarantine.
+        "exec.failures",
+        "exec.hangs",
+        "exec.crashes",
+        "exec.backoff_s",
+        "exec.quarantined_units",
         # Checkpoint/resume journal.
         "exec.checkpointed_units",
         "exec.resumed_units",
         "exec.journal_bytes",
+        "exec.journal_failures",
+        # Chaos harness: injector firing accounting (exec.* so it is
+        # stripped from fingerprints) and the probe target's physics.
+        "exec.chaos_faults",
+        "chaos.units",
+        "chaos.probe_sum",
+        "chaos.probe_extreme",
         # Imperfect-rig instrumentation noise.
         "rig.bit_flips",
         "rig.bits_read",

@@ -162,16 +162,40 @@ def _exec_spin(token: int) -> int:
     return total
 
 
-def _exec_engine(seed: int) -> float:
-    """Engine dispatch overhead over a plan of trivial units."""
-    plan = ShardPlan(
+def _exec_plan(seed: int) -> ShardPlan:
+    """The trivial-unit dispatch plan shared by the exec workloads."""
+    return ShardPlan(
         [
             WorkUnit(index=i, fn=_exec_spin, args=(seed + i,),
                      label=f"spin[{i}]")
             for i in range(_EXEC_UNITS)
         ]
     )
-    execute(plan, jobs=1)
+
+
+def _exec_engine(seed: int) -> float:
+    """Engine dispatch overhead over a plan of trivial units."""
+    execute(_exec_plan(seed), jobs=1)
+    return float(_EXEC_UNITS)
+
+
+def _chaos_overhead(seed: int) -> float:
+    """The supervised dispatch path with a (no-fault) injector installed.
+
+    Exactly the ``quick.exec-engine`` plan, but with an empty
+    :class:`~repro.chaos.inject.ChaosInjector` held on the runtime
+    hook — so every unit pays the full supervision tax: the
+    ``runtime.run_unit`` choke point plus a fault-table scan that
+    matches nothing.  Dividing this entry's wall time by the bare
+    entry's gives the supervision overhead ratio the robustness
+    acceptance gate bounds at 1.05 (see ``docs/robustness.md``).
+    """
+    from ..chaos.inject import ChaosInjector
+    from ..exec import runtime
+
+    injector = ChaosInjector((), state_dir="")
+    with runtime.injected(injector):
+        execute(_exec_plan(seed), jobs=1)
     return float(_EXEC_UNITS)
 
 
@@ -198,6 +222,7 @@ def _lint_project(seed: int) -> float:
 
 #: The suite, in trajectory-entry order.
 QUICK_WORKLOADS: tuple[QuickWorkload, ...] = (
+    QuickWorkload("quick.chaos-overhead", "units_per_s", _chaos_overhead),
     QuickWorkload("quick.dram-decay", "cells_decayed_per_s", _dram_decay),
     QuickWorkload("quick.exec-engine", "units_per_s", _exec_engine),
     QuickWorkload("quick.glitch-campaign", "attempts_per_s", _glitch_campaign),
@@ -218,7 +243,9 @@ def run_quick_suite(seed: int) -> list[BenchEntry]:
     The ``quick.physics-vector`` entry additionally carries a
     ``speedup`` block dividing the scalar leg's wall time by its own —
     the honest, same-host, same-work vector-vs-scalar engine ratio the
-    acceptance gate reads.
+    acceptance gate reads.  ``quick.chaos-overhead`` likewise carries
+    its wall time divided by the bare ``quick.exec-engine`` leg's —
+    the supervision-overhead ratio bounded by the robustness gate.
     """
     entries = []
     for workload in QUICK_WORKLOADS:
@@ -246,5 +273,12 @@ def run_quick_suite(seed: int) -> list[BenchEntry]:
         vector.speedup = {
             "vs_scalar_engine": scalar.wall_s / vector.wall_s,
             "scalar_wall_s": scalar.wall_s,
+        }
+    supervised = by_name.get("quick.chaos-overhead")
+    bare = by_name.get("quick.exec-engine")
+    if supervised is not None and bare is not None and bare.wall_s > 0.0:
+        supervised.speedup = {
+            "supervised_overhead_ratio": supervised.wall_s / bare.wall_s,
+            "bare_wall_s": bare.wall_s,
         }
     return entries

@@ -1,0 +1,60 @@
+"""The --faults grammar: canonical parses and named rejections."""
+
+import pytest
+
+from repro.chaos import FAULT_KINDS, FaultSpec, parse_faults
+from repro.errors import ChaosError
+
+
+class TestParsing:
+    def test_single_fault_defaults(self):
+        assert parse_faults("kill@unit=3") == (
+            FaultSpec(kind="kill", target="unit", index=3),
+        )
+
+    def test_comma_separated_list_preserves_order(self):
+        specs = parse_faults("kill@unit=0, torn@record=1 ,poison@unit=2")
+        assert [s.kind for s in specs] == ["kill", "torn", "poison"]
+        assert [s.index for s in specs] == [0, 1, 2]
+
+    def test_times_and_param_options(self):
+        [spec] = parse_faults("slow@unit=2:times=3:s=0.25")
+        assert spec == FaultSpec(
+            kind="slow", target="unit", index=2, times=3, param=0.25
+        )
+
+    def test_every_kind_parses_on_its_own_axis(self):
+        for kind, target in FAULT_KINDS.items():
+            [spec] = parse_faults(f"{kind}@{target}=0")
+            assert (spec.kind, spec.target) == (kind, target)
+
+    def test_describe_round_trips(self):
+        for text in ("kill@unit=3", "torn@record=1:times=2",
+                     "slow@unit=0:s=0.5"):
+            [spec] = parse_faults(text)
+            assert parse_faults(spec.describe()) == (spec,)
+
+
+class TestRejections:
+    @pytest.mark.parametrize(
+        "text,match",
+        [
+            ("", "empty fault spec"),
+            (" , ", "empty fault spec"),
+            ("explode@unit=1", "expected <kind>@<target>=<index>"),
+            ("kill", "expected <kind>@<target>=<index>"),
+            ("kill@record=1", "kill targets unit"),
+            ("fsync@unit=1", "fsync targets record"),
+            ("kill@unit=x", "index must be an integer"),
+            ("kill@unit=", "index must be an integer"),
+            ("kill@unit=-1", "index must be >= 0"),
+            ("kill@unit=1:times=0", "times >= 1"),
+            ("kill@unit=1:times=two", "times must be an integer"),
+            ("kill@unit=1:s=0.5", "unknown option 's' for kill"),
+            ("slow@unit=1:s=fast", "s must be a number"),
+            ("kill@unit=1:volume=11", "unknown option 'volume'"),
+        ],
+    )
+    def test_bad_specs_name_the_offender(self, text, match):
+        with pytest.raises(ChaosError, match=match):
+            parse_faults(text)

@@ -196,6 +196,70 @@ class TestCrashArtefacts:
         assert loaded[1].result == {"x": [1, 2]}
 
 
+class TestDegenerateJournals:
+    """Files a crash can leave that must still resume cleanly."""
+
+    def _resume_runs_everything(self, tmp_path, ckpt):
+        with checkpointing(str(ckpt), resume=True):
+            assert execute(_plan(tmp_path), jobs=1) == [
+                i * i for i in range(6)
+            ]
+        assert _ran(tmp_path) == set(range(6))
+        # The journal was rebuilt: header plus every unit, durable.
+        journal = ckpt / "journal-000.jsonl"
+        lines = journal.read_text().splitlines()
+        assert json.loads(lines[0])["kind"] == "header"
+        assert len(lines) == 7
+
+    def test_zero_byte_journal_resumes_from_scratch(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        ckpt.mkdir()
+        (ckpt / "journal-000.jsonl").write_bytes(b"")
+        self._resume_runs_everything(tmp_path, ckpt)
+
+    def test_torn_header_only_file_resumes_from_scratch(self, tmp_path):
+        # The crash landed mid-first-write: a prefix of the header,
+        # no newline.  Nothing is usable, nothing is corrupt.
+        ckpt = tmp_path / "ckpt"
+        ckpt.mkdir()
+        (ckpt / "journal-000.jsonl").write_bytes(b'{"kind": "hea')
+        self._resume_runs_everything(tmp_path, ckpt)
+
+    def test_blank_lines_only_resumes_from_scratch(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        ckpt.mkdir()
+        (ckpt / "journal-000.jsonl").write_bytes(b"\n\n")
+        self._resume_runs_everything(tmp_path, ckpt)
+
+    def test_header_only_journal_resumes_all_units(self, tmp_path):
+        # A complete header and zero unit records: the run died after
+        # `start()` but before the first `append()`.
+        ckpt = tmp_path / "ckpt"
+        with checkpointing(str(ckpt)):
+            execute(_plan(tmp_path), jobs=1)
+        journal = ckpt / "journal-000.jsonl"
+        header = journal.read_text().splitlines(keepends=True)[0]
+        journal.write_text(header)
+        _clear(tmp_path)
+        self._resume_runs_everything(tmp_path, ckpt)
+
+    def test_truncation_at_a_record_boundary_resumes_the_rest(
+        self, tmp_path
+    ):
+        # Exactly N whole records, trailing newline intact — the
+        # cleanest possible crash.  Only the missing units may run.
+        ckpt = tmp_path / "ckpt"
+        with checkpointing(str(ckpt)):
+            first = execute(_plan(tmp_path), jobs=1)
+        journal = ckpt / "journal-000.jsonl"
+        lines = journal.read_text().splitlines(keepends=True)
+        journal.write_text("".join(lines[:3]))  # header + units 0, 1
+        _clear(tmp_path)
+        with checkpointing(str(ckpt), resume=True):
+            assert execute(_plan(tmp_path), jobs=1) == first
+        assert _ran(tmp_path) == {2, 3, 4, 5}
+
+
 class TestInterruption:
     def test_keyboard_interrupt_banks_progress(self, tmp_path):
         ckpt = str(tmp_path / "ckpt")

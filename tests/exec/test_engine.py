@@ -16,7 +16,7 @@ import pytest
 from repro import obs
 from repro.errors import ExecError, ShardError
 from repro.exec import ShardPlan, execute
-from repro.exec import engine
+from repro.exec import engine, supervise
 
 
 def _square(x):
@@ -174,7 +174,7 @@ class TestSerialRetryParity:
         def _no_pool(*args, **kwargs):
             raise OSError("no process spawning here")
 
-        monkeypatch.setattr(engine, "ProcessPoolExecutor", _no_pool)
+        monkeypatch.setattr(supervise, "_start_worker", _no_pool)
         marker = str(tmp_path / "fail-once")
         plan = ShardPlan.enumerate(
             _fail_once, [(marker, 42), (str(tmp_path / "other"), 7)]
@@ -207,7 +207,7 @@ class TestSerialFallback:
         def _no_pool(*args, **kwargs):
             raise OSError("no process spawning here")
 
-        monkeypatch.setattr(engine, "ProcessPoolExecutor", _no_pool)
+        monkeypatch.setattr(supervise, "_start_worker", _no_pool)
         assert execute(_squares(6), jobs=4) == [i * i for i in range(6)]
         assert observed.metrics.snapshot()["exec.fallbacks"] == 1
 
@@ -215,7 +215,7 @@ class TestSerialFallback:
         def _no_pool(*args, **kwargs):
             raise OSError("no process spawning here")
 
-        monkeypatch.setattr(engine, "ProcessPoolExecutor", _no_pool)
+        monkeypatch.setattr(supervise, "_start_worker", _no_pool)
         # Even with retries=0 the downgrade completes the run.
         assert execute(_squares(6), jobs=4, retries=0) == [
             i * i for i in range(6)

@@ -1,0 +1,145 @@
+"""The supervised worker pool: crashes, hangs, timeouts, pool loss.
+
+Workers are real forked processes; the tests exercise the supervisor's
+health machinery with genuinely dying/stalling children, so the sleeps
+here are wall-clock by necessity (they never touch results or metrics).
+"""
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import (
+    PoolUnavailable,
+    WorkerCrash,
+    WorkerHang,
+    failure_class,
+)
+from repro.exec import SupervisionPolicy, supervise
+
+#: A tight policy so hang/death detection lands in test time.
+_FAST = SupervisionPolicy(hang_timeout_s=0.5, poll_interval_s=0.02)
+
+
+@dataclass(frozen=True)
+class _Task:
+    """Minimal stand-in for the engine's shard task."""
+
+    shard_index: int
+    mode: str = "ok"
+
+    def describe(self) -> str:
+        return f"task[{self.shard_index}]"
+
+
+def _worker(task: _Task, heartbeat=None) -> int:
+    tick = heartbeat or (lambda: None)
+    if task.mode == "crash":
+        os.kill(os.getpid(), signal.SIGKILL)
+    if task.mode == "hang":
+        tick()
+        time.sleep(60.0)  # no further heartbeat progress
+    if task.mode == "slow-but-alive":
+        for _ in range(200):
+            tick()
+            time.sleep(0.05)
+    if task.mode == "raise":
+        raise ValueError("unit exploded")
+    tick()
+    return task.shard_index * 10
+
+
+def _run(tasks, jobs=4, timeout_s=None, policy=_FAST):
+    return supervise.run_supervised(
+        tasks, jobs=jobs, timeout_s=timeout_s, policy=policy,
+        worker_fn=_worker,
+    )
+
+
+class TestHealthyPool:
+    def test_all_outcomes_collected(self):
+        outcomes, failures = _run([_Task(i) for i in range(5)], jobs=2)
+        assert outcomes == {i: i * 10 for i in range(5)}
+        assert failures == []
+
+    def test_worker_exception_ships_back(self):
+        outcomes, failures = _run([_Task(0), _Task(1, "raise")])
+        assert outcomes == {0: 0}
+        [(task, cause)] = failures
+        assert task.shard_index == 1
+        assert isinstance(cause, ValueError)
+
+
+class TestCrashes:
+    def test_one_dead_worker_does_not_break_the_pool(self):
+        tasks = [_Task(0), _Task(1, "crash"), _Task(2)]
+        outcomes, failures = _run(tasks)
+        assert outcomes == {0: 0, 2: 20}
+        [(task, cause)] = failures
+        assert task.shard_index == 1
+        assert isinstance(cause, WorkerCrash)
+        assert cause.exitcode == -signal.SIGKILL
+        assert failure_class(cause) == "crash"
+
+    def test_failures_sorted_by_shard_index(self):
+        tasks = [_Task(i, "crash") for i in (3, 0, 2)]
+        _, failures = _run(tasks, jobs=3)
+        assert [task.shard_index for task, _ in failures] == [0, 2, 3]
+        assert all(isinstance(cause, WorkerCrash) for _, cause in failures)
+
+
+class TestHangs:
+    def test_hung_worker_is_killed_and_reported(self):
+        outcomes, failures = _run([_Task(0), _Task(1, "hang")])
+        assert outcomes == {0: 0}
+        [(task, cause)] = failures
+        assert task.shard_index == 1
+        assert isinstance(cause, WorkerHang)
+        assert failure_class(cause) == "hang"
+
+    def test_heartbeat_progress_is_not_a_hang(self):
+        # Slower than hang_timeout_s overall, but ticking throughout.
+        policy = SupervisionPolicy(hang_timeout_s=0.3, poll_interval_s=0.02)
+        outcomes, failures = supervise.run_supervised(
+            [_Task(0, "slow-but-alive")], jobs=1, timeout_s=1.0,
+            policy=policy, worker_fn=_worker,
+        )
+        # The shard runs ~10s of ticking sleep, so the 1s *timeout*
+        # fires — but never the hang detector.
+        assert outcomes == {}
+        [(_, cause)] = failures
+        assert isinstance(cause, TimeoutError)
+        assert failure_class(cause) == "timeout"
+
+
+class TestPoolLoss:
+    def test_nothing_spawned_raises_pool_unavailable(self, monkeypatch):
+        def _no_fork(*args, **kwargs):
+            raise OSError("fork refused")
+
+        monkeypatch.setattr(supervise, "_start_worker", _no_fork)
+        with pytest.raises(PoolUnavailable):
+            _run([_Task(0), _Task(1)])
+
+    def test_mid_run_spawn_loss_fails_the_remainder(self, monkeypatch):
+        real = supervise._start_worker
+        spawned = []
+
+        def _one_then_fail(ctx, worker_fn, task, queue):
+            if spawned:
+                raise OSError("fork refused")
+            spawned.append(task.shard_index)
+            return real(ctx, worker_fn, task, queue)
+
+        monkeypatch.setattr(supervise, "_start_worker", _one_then_fail)
+        outcomes, failures = _run([_Task(0), _Task(1), _Task(2)], jobs=1)
+        assert outcomes == {0: 0}
+        assert [task.shard_index for task, _ in failures] == [1, 2]
+        assert all(
+            isinstance(cause, PoolUnavailable)
+            and failure_class(cause) == "pool-loss"
+            for _, cause in failures
+        )

@@ -1,8 +1,10 @@
 """Retry-policy contract: validation, backoff, and adaptive re-search."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.errors import ResilienceError
+from repro.errors import FAILURE_CLASSES, ResilienceError
 from repro.resilience import RetryPolicy
 
 
@@ -46,6 +48,83 @@ class TestBackoff:
     def test_defined_only_after_a_failure(self):
         with pytest.raises(ResilienceError):
             RetryPolicy().backoff_s(0)
+
+
+#: Arbitrary-but-valid backoff policies for the determinism properties.
+_policies = st.builds(
+    RetryPolicy,
+    base_backoff_s=st.floats(0.0, 10.0, allow_nan=False),
+    backoff_multiplier=st.floats(1.0, 8.0, allow_nan=False),
+    max_backoff_s=st.floats(0.0, 60.0, allow_nan=False),
+)
+
+#: Fault sequences as the supervised engine sees them: each element is
+#: one failed attempt, labelled with its typed failure class.  The
+#: backoff schedule depends only on the *count* of prior failures,
+#: never on their class, order, or any ambient state — that is the
+#: determinism property under test.
+_fault_sequences = st.lists(
+    st.sampled_from(FAILURE_CLASSES), min_size=1, max_size=12
+)
+
+
+class TestBackoffDeterminism:
+    """Same policy + same fault sequence => same simulated schedule.
+
+    The engine records ``backoff_s(n)`` per re-attempt round (it never
+    sleeps), so schedule determinism is exactly what makes a chaos run
+    with N injected faults byte-reproducible across retries.
+    """
+
+    @settings(max_examples=200, deadline=None)
+    @given(policy=_policies, faults=_fault_sequences)
+    def test_schedule_is_a_pure_function_of_the_failure_count(
+        self, policy, faults
+    ):
+        schedule = [policy.backoff_s(n) for n in range(1, len(faults) + 1)]
+        again = [policy.backoff_s(n) for n in range(1, len(faults) + 1)]
+        assert schedule == again
+        # Rebuilding an identical policy (a resumed process would)
+        # reproduces the schedule bit for bit.
+        clone = RetryPolicy(
+            base_backoff_s=policy.base_backoff_s,
+            backoff_multiplier=policy.backoff_multiplier,
+            max_backoff_s=policy.max_backoff_s,
+        )
+        assert [
+            clone.backoff_s(n) for n in range(1, len(faults) + 1)
+        ] == schedule
+
+    @settings(max_examples=200, deadline=None)
+    @given(policy=_policies, faults=_fault_sequences)
+    def test_schedule_is_monotone_and_bounded(self, policy, faults):
+        schedule = [policy.backoff_s(n) for n in range(1, len(faults) + 1)]
+        assert all(b <= policy.max_backoff_s for b in schedule)
+        assert all(
+            earlier <= later or later == policy.max_backoff_s
+            for earlier, later in zip(schedule, schedule[1:])
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        faults=_fault_sequences,
+        permutation_seed=st.integers(0, 2**32 - 1),
+    )
+    def test_failure_classes_never_perturb_the_schedule(
+        self, faults, permutation_seed
+    ):
+        # Reordering or relabelling the faults changes nothing: only
+        # how many have happened matters to the pacing contract.
+        import random
+
+        policy = RetryPolicy()
+        shuffled = list(faults)
+        random.Random(permutation_seed).shuffle(shuffled)
+        original = [policy.backoff_s(n) for n in range(1, len(faults) + 1)]
+        relabelled = [
+            policy.backoff_s(n) for n in range(1, len(shuffled) + 1)
+        ]
+        assert original == relabelled
 
 
 class TestSetpointSearch:

@@ -1,157 +1,19 @@
 #!/usr/bin/env python3
-"""Chaos smoke: kill a checkpointed campaign, resume it, compare runs.
+"""Thin CI shim over ``repro.chaos.smoke`` (see ``repro chaos --smoke``).
 
-The crash-safety guarantee, exercised end to end through the real CLI:
-
-1. run a reference campaign uninterrupted (``--json``) and record its
-   run-manifest fingerprint;
-2. start the same campaign with ``--checkpoint``, and ``kill -9`` the
-   process the moment its journal holds at least one completed work
-   unit — no signal handler, no atexit, no cleanup;
-3. rerun with ``--resume`` and assert that (a) at least one journalled
-   unit was actually reused and (b) the final manifest fingerprint is
-   **identical** to the uninterrupted reference.
-
-Exit codes follow the repo convention: 0 clean, 1 the guarantee was
-violated, 2 harness/usage error (e.g. the victim finished before the
-kill landed).  Run from anywhere: paths resolve against the repo root.
+The smoke harness lives in :mod:`repro.chaos.smoke` now; this file only
+keeps the historical ``python tools/chaos_smoke.py`` invocation (and its
+flags) working for CI.
 """
 
-from __future__ import annotations
-
-import argparse
-import json
 import os
-import shutil
-import signal
-import subprocess
 import sys
-import tempfile
-import time
-from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-SRC = REPO_ROOT / "src"
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
 
-sys.path.insert(0, str(SRC))
-
-from repro.obs import manifest_fingerprint  # noqa: E402
-from repro.obs.timing import wall_clock  # noqa: E402
-
-
-def _cli(args: list[str]) -> list[str]:
-    return [sys.executable, "-m", "repro", *args]
-
-
-def _env() -> dict[str, str]:
-    env = dict(os.environ)
-    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
-    return env
-
-
-def _run_json(args: list[str]) -> dict:
-    """Run the CLI, parse its ``--json`` document, return the manifest."""
-    proc = subprocess.run(
-        _cli(args), env=_env(), cwd=REPO_ROOT,
-        capture_output=True, text=True,
-    )
-    if proc.returncode != 0:
-        print(proc.stderr, file=sys.stderr)
-        raise SystemExit(f"harness error: {' '.join(args)} -> {proc.returncode}")
-    manifest = json.loads(proc.stdout)["manifest"]
-    if manifest is None:
-        raise SystemExit("harness error: CLI emitted no run manifest")
-    return manifest
-
-
-def _kill_mid_campaign(args: list[str], journal: Path, timeout_s: float) -> int:
-    """Start the campaign; SIGKILL once the journal has >= 1 unit line.
-
-    Returns the number of units banked before the kill.
-    """
-    victim = subprocess.Popen(
-        _cli(args), env=_env(), cwd=REPO_ROOT,
-        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
-    )
-    try:
-        deadline = wall_clock() + timeout_s
-        while wall_clock() < deadline:
-            if victim.poll() is not None:
-                raise SystemExit(
-                    "harness error: victim finished before the kill "
-                    "landed — campaign too fast for this smoke"
-                )
-            # header line + at least one whole unit line
-            if journal.exists() and journal.read_bytes().count(b"\n") >= 2:
-                break
-            time.sleep(0.02)
-        else:
-            raise SystemExit("harness error: victim never journalled a unit")
-        victim.send_signal(signal.SIGKILL)
-        victim.wait(timeout=60)
-    finally:
-        if victim.poll() is None:
-            victim.kill()
-    banked = journal.read_bytes().count(b"\n") - 1
-    print(f"killed -9 with {banked} unit(s) banked in {journal}")
-    return banked
-
-
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--experiment", default="noisy-rig")
-    parser.add_argument("--seed", type=int, default=2022)
-    parser.add_argument("--jobs", type=int, default=1)
-    parser.add_argument(
-        "--timeout", type=float, default=300.0,
-        help="seconds to wait for the victim to journal its first unit",
-    )
-    args = parser.parse_args()
-
-    workdir = Path(tempfile.mkdtemp(prefix="chaos-smoke-"))
-    ckpt = workdir / "ckpt"
-    journal = ckpt / "journal-000.jsonl"
-    base = [
-        "experiment", args.experiment,
-        "--seed", str(args.seed), "--jobs", str(args.jobs),
-    ]
-    try:
-        print(f"reference run: {args.experiment} seed={args.seed}")
-        reference = _run_json([*base, "--json"])
-
-        banked = _kill_mid_campaign(
-            [*base, "--checkpoint", str(ckpt)], journal, args.timeout
-        )
-
-        print("resuming from the journal...")
-        resumed = _run_json(
-            [*base, "--checkpoint", str(ckpt), "--resume", "--json"]
-        )
-
-        reused = resumed["metrics"].get("exec.resumed_units", 0)
-        if not reused:
-            print(
-                "FAIL: resume re-ran everything (exec.resumed_units == 0)",
-                file=sys.stderr,
-            )
-            return 1
-        ref_fp = manifest_fingerprint(reference)
-        res_fp = manifest_fingerprint(resumed)
-        if ref_fp != res_fp:
-            print(
-                f"FAIL: resumed manifest {res_fp[:16]}... differs from "
-                f"uninterrupted reference {ref_fp[:16]}...",
-                file=sys.stderr,
-            )
-            return 1
-        print(
-            f"OK: resumed {reused}/{banked} banked unit(s); manifest "
-            f"fingerprint {ref_fp[:16]}... matches the reference"
-        )
-        return 0
-    finally:
-        shutil.rmtree(workdir, ignore_errors=True)
-
+from repro.chaos.smoke import main  # noqa: E402
 
 if __name__ == "__main__":
     raise SystemExit(main())
